@@ -1,0 +1,205 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. The experiment tables — one section per paper figure (F2-F5) and
+      per §3 exploration (E1-E11), printing the rows/series the figure
+      reports (simulated-metric results; see EXPERIMENTS.md for the
+      paper-vs-measured comparison). This is what `bench/main.exe` is for.
+
+   2. Bechamel micro-benchmarks — one Test.make per experiment datapath,
+      measuring this implementation's real wall-clock time for the same
+      operations (ring ops, driver pairs, record protection, crypto,
+      compartment calls, end-to-end echoes). These validate that the
+      simulator itself is fast enough to be used as a substrate.
+
+   Usage:
+     bench/main.exe                 # tables + micro-benchmarks
+     bench/main.exe tables          # tables only
+     bench/main.exe micro           # micro-benchmarks only
+     bench/main.exe fig5 e2 ...     # selected tables only
+*)
+
+open Bechamel
+open Toolkit
+
+(* --- part 2: Bechamel micro-benchmarks ------------------------------- *)
+
+let test_ring_roundtrip positioning name =
+  let cfg = { Cio_cionet.Config.default with Cio_cionet.Config.positioning } in
+  let drv = Cio_cionet.Driver.create ~name:("bench-" ^ name) cfg in
+  let host = Cio_cionet.Host_model.create ~driver:drv ~transmit:(fun _ -> ()) in
+  let payload = Bytes.make 1024 'b' in
+  Test.make ~name:("cionet-" ^ name)
+    (Staged.stage (fun () ->
+         ignore (Cio_cionet.Driver.transmit drv payload);
+         Cio_cionet.Host_model.poll host;
+         Cio_cionet.Host_model.deliver_rx host payload;
+         Cio_cionet.Host_model.poll host;
+         ignore (Cio_cionet.Driver.poll drv)))
+
+let test_cionet_revoke () =
+  let cfg = { Cio_cionet.Config.default with Cio_cionet.Config.rx_strategy = Cio_cionet.Config.Revoke } in
+  let drv = Cio_cionet.Driver.create ~name:"bench-revoke" cfg in
+  let host = Cio_cionet.Host_model.create ~driver:drv ~transmit:(fun _ -> ()) in
+  let payload = Bytes.make 4096 'r' in
+  Test.make ~name:"cionet-rx-revoke"
+    (Staged.stage (fun () ->
+         Cio_cionet.Host_model.deliver_rx host payload;
+         Cio_cionet.Host_model.poll host;
+         ignore (Cio_cionet.Driver.poll drv)))
+
+let test_virtio ~hardened name =
+  let transport = Cio_virtio.Transport.create ~name:("bench-" ^ name) () in
+  let dev =
+    Cio_virtio.Device.create ~rx:(Cio_virtio.Transport.rx transport)
+      ~tx:(Cio_virtio.Transport.tx transport) ~transmit:(fun _ -> ())
+  in
+  let payload = Bytes.make 1024 'v' in
+  if hardened then begin
+    let drv = Cio_virtio.Driver_hardened.create transport in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore (Cio_virtio.Driver_hardened.transmit drv payload);
+           Cio_virtio.Device.deliver_rx dev payload;
+           Cio_virtio.Device.poll dev;
+           ignore (Cio_virtio.Driver_hardened.poll drv)))
+  end
+  else begin
+    let drv = Cio_virtio.Driver_unhardened.create transport in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore (Cio_virtio.Driver_unhardened.transmit drv payload);
+           Cio_virtio.Device.deliver_rx dev payload;
+           Cio_virtio.Device.poll dev;
+           ignore (Cio_virtio.Driver_unhardened.poll drv)))
+  end
+
+let test_tls_record () =
+  let rng = Cio_util.Rng.create 1L in
+  let psk = Bytes.make 32 'p' in
+  let c = Cio_tls.Session.create ~role:Cio_tls.Session.Client ~psk ~psk_id:"b" ~rng () in
+  let s = Cio_tls.Session.create ~role:Cio_tls.Session.Server ~psk ~psk_id:"b" ~rng () in
+  let cat l = List.fold_left Bytes.cat Bytes.empty l in
+  let f1 = match Cio_tls.Session.initiate c with Ok o -> cat o | Error _ -> assert false in
+  let r1 = Cio_tls.Session.feed s f1 in
+  let r2 = Cio_tls.Session.feed c (cat r1.Cio_tls.Session.outputs) in
+  ignore (Cio_tls.Session.feed s (cat r2.Cio_tls.Session.outputs));
+  let payload = Bytes.make 1024 't' in
+  Test.make ~name:"tls-seal-open-1KiB"
+    (Staged.stage (fun () ->
+         match Cio_tls.Session.send_data c payload with
+         | Ok wire -> ignore (Cio_tls.Session.feed s wire)
+         | Error _ -> assert false))
+
+let test_crypto_primitives () =
+  let data = Bytes.make 4096 'c' in
+  let key = Bytes.make 32 'k' and nonce = Bytes.make 12 'n' in
+  [
+    Test.make ~name:"sha256-4KiB" (Staged.stage (fun () -> ignore (Cio_crypto.Sha256.digest_bytes data)));
+    Test.make ~name:"aead-seal-4KiB"
+      (Staged.stage (fun () -> ignore (Cio_crypto.Aead.seal ~key ~nonce ~aad:Bytes.empty data)));
+  ]
+
+let test_packed ~hardened name =
+  let tr = Cio_virtio.Packed.create_transport ~name:("bench-" ^ name) () in
+  let dev = Cio_virtio.Packed.create_device ~transport:tr ~transmit:(fun _ -> ()) in
+  let drv = Cio_virtio.Packed.create_driver ~hardened tr in
+  let payload = Bytes.make 1024 'p' in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Cio_virtio.Packed.driver_transmit drv payload);
+         Cio_virtio.Packed.device_deliver_rx dev payload;
+         Cio_virtio.Packed.device_poll dev;
+         ignore (Cio_virtio.Packed.driver_poll drv)))
+
+let test_compartment_call () =
+  let open Cio_compartment in
+  let w = Compartment.create ~crossing:Compartment.Gate () in
+  let a = Compartment.add_domain w ~name:"a" and b = Compartment.add_domain w ~name:"b" in
+  Test.make ~name:"compartment-gate-call"
+    (Staged.stage (fun () -> Compartment.call w ~caller:a ~callee:b ignore))
+
+let test_echo_configuration kind =
+  Test.make
+    ~name:("echo-" ^ Cio_core.Configurations.kind_name kind)
+    (Staged.stage (fun () ->
+         ignore (Cio_core.Configurations.run_echo ~messages:5 ~msg_size:512 kind)))
+
+let test_storage () =
+  let dev, _ = Cio_storage.Blockdev.create ~name:"bench-store" ~blocks:256 () in
+  let store = Cio_storage.Dual_store.create ~dev ~key:(Bytes.make 32 'K') () in
+  let content = Bytes.make 8192 's' in
+  let counter = ref 0 in
+  Test.make ~name:"dual-store-write-read-8KiB"
+    (Staged.stage (fun () ->
+         incr counter;
+         let name = Printf.sprintf "f%d" (!counter mod 8) in
+         ignore (Cio_storage.Dual_store.write_file store ~name content);
+         ignore (Cio_storage.Dual_store.read_file store ~name)))
+
+let test_dda () =
+  let rng = Cio_util.Rng.create 3L in
+  match Cio_dda.Dda.establish ~rng () with
+  | Error _ -> Test.make ~name:"dda-transfer-4KiB" (Staged.stage (fun () -> ()))
+  | Ok t ->
+      let payload = Bytes.make 4096 'd' in
+      Test.make ~name:"dda-transfer-4KiB"
+        (Staged.stage (fun () -> ignore (Cio_dda.Dda.transfer t payload)))
+
+let micro_tests () =
+  Test.make_grouped ~name:"cio"
+    ([
+       test_ring_roundtrip (Cio_cionet.Config.Inline { data_capacity = 4096 }) "inline";
+       test_ring_roundtrip (Cio_cionet.Config.Pool { pool_slots = 128; pool_slot_size = 2048 }) "pool";
+       test_ring_roundtrip
+         (Cio_cionet.Config.Indirect { desc_count = 128; pool_slots = 128; pool_slot_size = 2048 })
+         "indirect";
+       test_cionet_revoke ();
+       test_virtio ~hardened:false "virtio-unhardened";
+       test_virtio ~hardened:true "virtio-hardened";
+       test_packed ~hardened:false "packed-unhardened";
+       test_packed ~hardened:true "packed-hardened";
+       test_tls_record ();
+       test_compartment_call ();
+       test_storage ();
+       test_dda ();
+     ]
+    @ test_crypto_primitives ()
+    @ List.map test_echo_configuration Cio_core.Configurations.all_kinds)
+
+let () = Bechamel_notty.Unit.add Instance.monotonic_clock "ns"
+
+let run_micro () =
+  Fmt.pr "@.=== Bechamel micro-benchmarks (wall time of this implementation) ===@.";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let results = Analyze.merge ols instances results in
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  let img =
+    Bechamel_notty.Multiple.image_of_ols_results ~rect:window ~predictor:Measure.run results
+  in
+  Notty_unix.eol img |> Notty_unix.output_image
+
+let () =
+  Cio_tcb.Tcb.set_repo_root ".";
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      Cio_experiments.Experiments.run_all Fmt.stdout ();
+      run_micro ()
+  | [ "tables" ] -> Cio_experiments.Experiments.run_all Fmt.stdout ()
+  | [ "micro" ] -> run_micro ()
+  | ids ->
+      List.iter
+        (fun id ->
+          if not (Cio_experiments.Experiments.run_one Fmt.stdout id) then
+            Fmt.epr "unknown experiment: %s@." id)
+        ids

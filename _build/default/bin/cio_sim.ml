@@ -1,0 +1,59 @@
+(* cio-sim: command-line driver for the reproduction experiments.
+
+     cio-sim list            enumerate experiments
+     cio-sim run fig5 e2     run selected experiments
+     cio-sim all             run everything (same content as bench/main.exe)
+*)
+
+open Cmdliner
+
+let setup_tcb repo_root = Cio_tcb.Tcb.set_repo_root repo_root
+
+let repo_root_arg =
+  let doc = "Repository root (for live TCB line counting)." in
+  Arg.(value & opt string "." & info [ "repo-root" ] ~docv:"DIR" ~doc)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (id, title, _) -> Fmt.pr "%-6s %s@." id title)
+      Cio_experiments.Experiments.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments") Term.(const run $ const ())
+
+let run_cmd =
+  let ids =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (see list).")
+  in
+  let run repo_root ids =
+    setup_tcb repo_root;
+    let ok =
+      List.for_all
+        (fun id ->
+          if Cio_experiments.Experiments.run_one Fmt.stdout id then true
+          else begin
+            Fmt.epr "unknown experiment id: %s@." id;
+            false
+          end)
+        ids
+    in
+    if ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run selected experiments")
+    Term.(const run $ repo_root_arg $ ids)
+
+let all_cmd =
+  let run repo_root =
+    setup_tcb repo_root;
+    Cio_experiments.Experiments.run_all Fmt.stdout ();
+    0
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment") Term.(const run $ repo_root_arg)
+
+let main =
+  let doc = "confidential I/O simulator: reproduction of 'Towards (Really) Safe and Fast Confidential I/O' (HotOS '23)" in
+  Cmd.group (Cmd.info "cio-sim" ~version:"1.0.0" ~doc) [ list_cmd; run_cmd; all_cmd ]
+
+let () = exit (Cmd.eval' main)

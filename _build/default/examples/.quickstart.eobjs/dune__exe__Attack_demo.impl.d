@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Attack Bytes Cio_attack Cio_mem Cio_virtio Device Driver_unhardened Fmt List Region String Transport

@@ -1,0 +1,1 @@
+examples/confidential_kv.ml: Addr Bytes Channel Cio_cionet Cio_core Cio_frame Cio_netsim Cio_tls Cio_util Cost Dual Engine Fmt Hashtbl Link List Option Peer Rng String

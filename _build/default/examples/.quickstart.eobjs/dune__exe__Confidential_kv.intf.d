@@ -1,0 +1,1 @@
+examples/confidential_kv.mli:

@@ -1,0 +1,1 @@
+examples/middlebox.ml: Bytes Cio_cionet Cio_util Config Cost Driver Fmt Host_model List Ring Rng String

@@ -1,0 +1,1 @@
+examples/migration_demo.ml: Addr Bytes Channel Cio_cionet Cio_core Cio_frame Cio_netsim Cio_tls Cio_util Dual Engine Fmt Link Option Peer Pretty Printf Rng

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr Bytes Channel Cio_cionet Cio_core Cio_frame Cio_netsim Cio_tls Cio_util Cost Dual Engine Fmt Link Option Peer Rng

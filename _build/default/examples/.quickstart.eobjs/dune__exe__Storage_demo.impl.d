@@ -1,0 +1,1 @@
+examples/storage_demo.ml: Blockdev Bytes Cio_storage Cio_util Cost File Fmt List Printf String

@@ -1,0 +1,1 @@
+examples/storage_demo.mli:

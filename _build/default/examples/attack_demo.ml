@@ -1,0 +1,68 @@
+(* Attack demo: the §2.5 interface-attack classes aimed at all four
+   interface designs, with a narrated walk-through of one exploit.
+
+     dune exec examples/attack_demo.exe
+*)
+
+open Cio_attack
+open Cio_virtio
+open Cio_mem
+
+let () =
+  Fmt.pr "== Walk-through: the used.len lie against the legacy driver ==@.@.";
+  let transport = Transport.create ~name:"demo" () in
+  let device =
+    Device.create ~rx:(Transport.rx transport) ~tx:(Transport.tx transport) ~transmit:ignore
+  in
+  let driver = Driver_unhardened.create transport in
+  (* A previous tenant's flow left residue in the adjacent RX buffer. *)
+  let secret = "SSN=078-05-1120; card=4556-7375-8689-9855" in
+  Region.guest_write (Transport.region transport)
+    ~off:(Transport.rx_buf_offset transport 1)
+    (Bytes.of_string secret);
+  Fmt.pr "1. adjacent buffer holds another flow's residue: %S@." secret;
+  Fmt.pr "2. host delivers a 5-byte frame but reports used.len = 3000@.";
+  Device.inject device (Device.Lie_used_len 3000);
+  Device.deliver_rx device (Bytes.of_string "hello");
+  Device.poll device;
+  (match Driver_unhardened.poll driver with
+  | Some frame ->
+      let s = Bytes.to_string frame in
+      Fmt.pr "3. unhardened driver hands the stack %d bytes@." (Bytes.length frame);
+      let leaked =
+        let n = String.length s and c = String.length secret in
+        let rec go i = i + c <= n && (String.equal (String.sub s i c) secret || go (i + 1)) in
+        go 0
+      in
+      Fmt.pr "4. the secret %s@."
+        (if leaked then "IS IN THE DELIVERED FRAME — information leak" else "did not leak")
+  | None -> Fmt.pr "no frame delivered@.");
+  Fmt.pr "@.The same lie against the safe interface is clamped to the slot capacity@.";
+  Fmt.pr "by construction, and against the dual boundary the mangled record simply@.";
+  Fmt.pr "fails authentication. The full matrix:@.@.";
+
+  (* The full E4 matrix. *)
+  Fmt.pr "%-20s" "scenario";
+  List.iter (fun t -> Fmt.pr " %-18s" (Attack.target_name t)) Attack.all_targets;
+  Fmt.pr "@.";
+  List.iter
+    (fun (s, row) ->
+      Fmt.pr "%-20s" s.Attack.sname;
+      List.iter (fun (_, o) -> Fmt.pr " %-18s" (Attack.outcome_name o)) row;
+      Fmt.pr "@.")
+    (Attack.matrix ());
+  Fmt.pr "@.";
+  List.iter
+    (fun (s, _) -> Fmt.pr "%-20s %s@." s.Attack.sname s.Attack.description)
+    (Attack.matrix ());
+
+  Fmt.pr "@.== Ternary trust model: what a fully compromised I/O stack can do ==@.";
+  let sc = Attack.run_stack_compromise () in
+  Fmt.pr "read application memory directly : %s (%s)@."
+    (Attack.outcome_name sc.Attack.direct_read)
+    (Attack.outcome_detail sc.Attack.direct_read);
+  Fmt.pr "forge application data in the stream: %s (%s)@."
+    (Attack.outcome_name sc.Attack.forged_stream)
+    (Attack.outcome_detail sc.Attack.forged_stream);
+  Fmt.pr "=> compromising the stack buys observability only; reaching application@.";
+  Fmt.pr "   data requires a second, independent break (multi-stage attack).@."

@@ -1,0 +1,93 @@
+(* Confidential middlebox (ShieldBox/LightBox-class workload): a packet
+   inspection function running inside the TEE, fed raw L2 messages
+   through the safe ring. Demonstrates the paper's middlebox use case on
+   the cionet interface: line-rate-style processing, zero trust in the
+   host, and confinement of a hostile burst injected mid-stream.
+
+     dune exec examples/middlebox.exe
+*)
+
+open Cio_cionet
+open Cio_util
+
+(* The network function: flow accounting + naive signature match. *)
+type verdict = Pass | Flag
+
+let inspect payload =
+  let s = Bytes.to_string payload in
+  let suspicious = [ "exploit"; "\x90\x90\x90\x90"; "/etc/passwd" ] in
+  let hit needle =
+    let n = String.length s and c = String.length needle in
+    let rec go i = i + c <= n && (String.equal (String.sub s i c) needle || go (i + 1)) in
+    c > 0 && go 0
+  in
+  if List.exists hit suspicious then Flag else Pass
+
+let () =
+  let cfg = { Config.default with Config.ring_slots = 64 } in
+  let driver = Driver.create ~name:"middlebox" cfg in
+  let forwarded = ref 0 in
+  let host = Host_model.create ~driver ~transmit:(fun _ -> incr forwarded) in
+  let rng = Rng.create 99L in
+
+  let passed = ref 0 and flagged = ref 0 and bytes = ref 0 in
+  let process payload =
+    bytes := !bytes + Bytes.length payload;
+    match inspect payload with
+    | Pass ->
+        incr passed;
+        (* Forward out the TX ring (the egress port). *)
+        ignore (Driver.transmit driver payload)
+    | Flag -> incr flagged
+  in
+
+  (* Traffic: 2000 frames, 1% carrying a "signature". *)
+  let total_frames = 2000 in
+  Fmt.pr "middlebox: inspecting %d frames through the safe ring...@." total_frames;
+  for i = 1 to total_frames do
+    let payload =
+      if i mod 100 = 0 then Bytes.of_string "GET /etc/passwd HTTP/1.1"
+      else Rng.bytes rng (64 + Rng.int rng 1200)
+    in
+    Host_model.deliver_rx host payload;
+    Host_model.poll host;
+    let rec drain () =
+      match Driver.poll driver with
+      | Some p ->
+          process p;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    Host_model.poll host  (* let the host consume the egress ring *)
+  done;
+
+  Fmt.pr "passed: %d  flagged: %d  forwarded by host: %d  bytes inspected: %d@." !passed !flagged
+    !forwarded !bytes;
+  let m = Driver.guest_meter driver in
+  Fmt.pr "TEE cost: %d cycles total, %.1f cycles/byte (%a)@." (Cost.total m)
+    (float_of_int (Cost.total m) /. float_of_int !bytes)
+    Cost.pp_meter m;
+
+  (* A hostile burst mid-stream: the middlebox must neither crash nor
+     misclassify — hostile slots are confined and dataflow continues. *)
+  Fmt.pr "@.injecting hostile host behaviour (lying lengths, garbage states)...@.";
+  Host_model.inject host (Host_model.Lie_len 1_000_000);
+  Host_model.inject host (Host_model.Garbage_state 0xBAD);
+  Host_model.inject host (Host_model.Bad_index 424242);
+  for _ = 1 to 50 do
+    Host_model.deliver_rx host (Bytes.of_string "post-attack traffic");
+    Host_model.poll host;
+    let rec drain () =
+      match Driver.poll driver with
+      | Some p ->
+          process p;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  done;
+  let c = Ring.counters (Driver.rx_ring driver) in
+  Fmt.pr "confined: lengths clamped %d, indices masked %d, states skipped %d@."
+    c.Ring.len_clamped c.Ring.index_masked c.Ring.state_skipped;
+  Fmt.pr "middlebox still running; %d frames passed in total.@." !passed

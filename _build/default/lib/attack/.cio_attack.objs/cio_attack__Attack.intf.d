@@ -1,0 +1,1 @@
+lib/attack/attack.mli: Cio_cionet Cio_virtio

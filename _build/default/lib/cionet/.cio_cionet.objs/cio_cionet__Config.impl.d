@@ -1,0 +1,1 @@
+lib/cionet/config.ml: Addr Cio_frame

@@ -1,0 +1,1 @@
+lib/cionet/config.mli: Addr Cio_frame

@@ -1,0 +1,1 @@
+lib/cionet/driver.ml: Bitops Bytes Char Cio_frame Cio_mem Cio_tcpip Cio_util Config Cost Printf Region Ring

@@ -1,0 +1,1 @@
+lib/cionet/driver.mli: Cio_mem Cio_tcpip Cio_util Config Cost Region Ring

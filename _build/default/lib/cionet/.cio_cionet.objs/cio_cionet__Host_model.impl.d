@@ -1,0 +1,1 @@
+lib/cionet/host_model.ml: Bytes Char Cio_mem Driver List Queue Region Ring

@@ -1,0 +1,1 @@
+lib/cionet/host_model.mli: Driver

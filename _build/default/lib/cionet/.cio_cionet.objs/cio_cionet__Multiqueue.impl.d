@@ -1,0 +1,1 @@
+lib/cionet/multiqueue.ml: Array Cio_util Config Cost Driver Printf

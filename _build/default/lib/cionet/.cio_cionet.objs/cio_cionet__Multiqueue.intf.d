@@ -1,0 +1,1 @@
+lib/cionet/multiqueue.mli: Cio_util Config Cost Driver

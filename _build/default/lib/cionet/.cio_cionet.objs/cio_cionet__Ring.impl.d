@@ -1,0 +1,1 @@
+lib/cionet/ring.ml: Array Bitops Bytes Cio_mem Cio_util Config Cost Int32 Queue Region

@@ -1,0 +1,1 @@
+lib/cionet/ring.mli: Cio_mem Cio_util Config Cost Region

@@ -1,0 +1,30 @@
+(** Boot-time cionet device configuration (zero-negotiation: all fields
+    fixed at creation, no control plane). *)
+
+open Cio_frame
+
+type positioning =
+  | Inline of { data_capacity : int }
+  | Pool of { pool_slots : int; pool_slot_size : int }
+  | Indirect of { desc_count : int; pool_slots : int; pool_slot_size : int }
+
+type rx_strategy = Copy_in | Revoke
+
+type t = {
+  mac : Addr.mac;
+  mtu : int;
+  ring_slots : int;
+  positioning : positioning;
+  rx_strategy : rx_strategy;
+  checksum_offload : bool;
+  use_notifications : bool;
+  pad_frames : bool;
+}
+
+val default : t
+
+val data_capacity : t -> int
+(** Maximum message payload under the configured positioning. *)
+
+val positioning_name : positioning -> string
+val rx_strategy_name : rx_strategy -> string

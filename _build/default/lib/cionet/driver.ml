@@ -1,0 +1,153 @@
+(* Guest-side cionet driver: the confidential unit's end of the safe L2
+   interface. Builds the shared region (config page + TX ring + RX ring),
+   exposes the polling netif the in-TEE stack plugs into, and implements
+   the two receive strategies (early copy vs page revocation). *)
+
+open Cio_util
+open Cio_mem
+
+type instance = {
+  region : Region.t;
+  tx : Ring.t;   (* guest produces *)
+  rx : Ring.t;   (* host produces *)
+}
+
+type t = {
+  config : Config.t;
+  mutable inst : instance;
+  meter : Cost.meter;     (* guest meter, stable across hot swaps *)
+  host_meter : Cost.meter;
+  model : Cost.model;
+  name : string;
+  mutable generation : int;  (* bumped on every hot swap *)
+  mutable tx_frames : int;
+  mutable rx_frames : int;
+}
+
+let config_bytes = 64
+
+(* The immutable config page at offset 0: MAC, MTU, geometry. Written once
+   by the guest at boot; the host reads it once at attach. No field ever
+   changes afterwards. *)
+let write_config region (c : Config.t) =
+  let b = Bytes.make config_bytes '\000' in
+  for i = 0 to 5 do
+    Bytes.set b i (Char.chr (Cio_frame.Addr.mac_octet c.Config.mac i))
+  done;
+  Bytes.set_uint16_le b 6 c.Config.mtu;
+  Bytes.set_uint16_le b 8 c.Config.ring_slots;
+  Bytes.set b 10 (if c.Config.checksum_offload then '\001' else '\000');
+  Bytes.set b 11 (if c.Config.use_notifications then '\001' else '\000');
+  Region.guest_write region ~off:0 b
+
+let make_instance ~model ~meter ~host_meter ~name (config : Config.t) =
+  let page = 4096 in
+  let lay = Ring.layout ~page_size:page ~slots:config.Config.ring_slots config.Config.positioning in
+  let tx_base = page in
+  let rx_base = Bitops.align_up (tx_base + lay.Ring.total) ~align:page in
+  let total = Bitops.align_up (rx_base + lay.Ring.total) ~align:page in
+  let region = Region.create ~meter ~model ~page_size:page ~prot:Region.Shared ~name total in
+  write_config region config;
+  let tx =
+    Ring.create ~region ~base:tx_base ~slots:config.Config.ring_slots
+      ~positioning:config.Config.positioning ~producer:Region.Guest ~host_meter
+  in
+  let rx =
+    Ring.create ~region ~base:rx_base ~slots:config.Config.ring_slots
+      ~positioning:config.Config.positioning ~producer:Region.Host ~host_meter
+  in
+  { region; tx; rx }
+
+let create ?(model = Cost.default) ?meter ?host_meter ~name (config : Config.t) =
+  let meter = match meter with Some m -> m | None -> Cost.meter () in
+  let host_meter = match host_meter with Some m -> m | None -> Cost.meter () in
+  let inst = make_instance ~model ~meter ~host_meter ~name config in
+  {
+    config;
+    inst;
+    meter;
+    host_meter;
+    model;
+    name;
+    generation = 0;
+    tx_frames = 0;
+    rx_frames = 0;
+  }
+
+let region t = t.inst.region
+let config t = t.config
+let tx_ring t = t.inst.tx
+let rx_ring t = t.inst.rx
+let host_meter t = t.host_meter
+let guest_meter t = t.meter
+let tx_frames t = t.tx_frames
+let rx_frames t = t.rx_frames
+let generation t = t.generation
+
+(* Hot swap: replace the entire device instance with a fresh one — the
+   §3.2 answer to live migration. Because the interface is stateless and
+   zero-negotiation, there is nothing to transfer: no feature bits, no
+   in-flight descriptor state, no sequence numbers. In-flight *frames*
+   are lost, exactly like a cable pull, and TCP/L5 recover; the old
+   region is revoked from the host wholesale so nothing lingers shared
+   after migration. *)
+let hot_swap t =
+  Region.unshare_range t.inst.region ~off:0 ~len:(Region.size t.inst.region);
+  t.generation <- t.generation + 1;
+  t.inst <-
+    make_instance ~model:t.model ~meter:t.meter ~host_meter:t.host_meter
+      ~name:(Printf.sprintf "%s-gen%d" t.name t.generation)
+      t.config
+
+let transmit t frame =
+  let frame =
+    if t.config.Config.pad_frames && Bytes.length frame < t.config.Config.mtu + 14 then begin
+      (* Size padding: the host sees uniform frames. Receivers strip the
+         padding via the IPv4 total-length field. *)
+      let padded = Bytes.make (t.config.Config.mtu + 14) '\000' in
+      Bytes.blit frame 0 padded 0 (Bytes.length frame);
+      padded
+    end
+    else frame
+  in
+  let ok = Ring.try_produce t.inst.tx frame in
+  if ok then begin
+    t.tx_frames <- t.tx_frames + 1;
+    if t.config.Config.use_notifications then
+      (* Optional doorbell for E11: stateless and idempotent — it carries
+         no data, only "look at the ring". *)
+      Cost.charge (guest_meter t) Cost.Notification t.model.Cost.notification
+  end;
+  ok
+
+let poll t =
+  match t.config.Config.rx_strategy with
+  | Config.Copy_in ->
+      let r = Ring.try_consume t.inst.rx in
+      (match r with Some _ -> t.rx_frames <- t.rx_frames + 1 | None -> ());
+      r
+  | Config.Revoke -> (
+      match Ring.try_consume_revoke t.inst.rx with
+      | None -> None
+      | Some zc ->
+          t.rx_frames <- t.rx_frames + 1;
+          (* The netif contract hands out an owned buffer, so release the
+             slot immediately; the data bytes were captured while the
+             pages were private, which is the property that matters. *)
+          zc.Ring.release ();
+          Some zc.Ring.data)
+
+let poll_zero_copy t =
+  match Ring.try_consume_revoke t.inst.rx with
+  | None -> None
+  | Some zc ->
+      t.rx_frames <- t.rx_frames + 1;
+      Some zc
+
+let to_netif t =
+  {
+    Cio_tcpip.Netif.mac = t.config.Config.mac;
+    mtu = t.config.Config.mtu;
+    transmit = (fun frame -> ignore (transmit t frame));
+    poll = (fun () -> poll t);
+  }

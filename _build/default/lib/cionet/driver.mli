@@ -1,0 +1,43 @@
+(** Guest-side cionet driver: builds the shared region (config page + two
+    safe rings) and exposes the polling netif. *)
+
+open Cio_util
+open Cio_mem
+
+type t
+
+val create :
+  ?model:Cost.model ->
+  ?meter:Cost.meter ->
+  ?host_meter:Cost.meter ->
+  name:string ->
+  Config.t ->
+  t
+
+val region : t -> Region.t
+val config : t -> Config.t
+val tx_ring : t -> Ring.t
+val rx_ring : t -> Ring.t
+val host_meter : t -> Cost.meter
+val guest_meter : t -> Cost.meter
+val tx_frames : t -> int
+val rx_frames : t -> int
+
+val generation : t -> int
+(** Device generation; bumped by {!hot_swap}. *)
+
+val hot_swap : t -> unit
+(** Replace the device instance wholesale (live migration by hot swap,
+    §3.2): the zero-negotiation interface has no state to transfer. The
+    old region is fully revoked from the host; in-flight frames are lost
+    like a cable pull and the upper layers recover. The host must
+    re-attach (see {!Host_model.reattach}). *)
+
+val transmit : t -> bytes -> bool
+val poll : t -> bytes option
+
+val poll_zero_copy : t -> Ring.zero_copy option
+(** Revocation receive that keeps the slot until [release] (for callers
+    that can consume in place). *)
+
+val to_netif : t -> Cio_tcpip.Netif.t

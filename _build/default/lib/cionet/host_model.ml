@@ -1,0 +1,176 @@
+(* Host-side cionet device model.
+
+   Consumes the guest's TX ring and produces into the RX ring, strictly as
+   the [Host] actor. Region faults (e.g. the guest has revoked a payload
+   page mid-operation) are absorbed and counted — from the host's view a
+   revoked page is simply unmapped.
+
+   Misbehaviour knobs mirror the virtio device's so E4 can aim the same
+   attack classes at the safe interface and show each one bouncing off a
+   specific construction principle. *)
+
+open Cio_mem
+
+type misbehavior =
+  | Lie_len of int          (* publish this length on the next RX message *)
+  | Bad_index of int        (* publish this pool/descriptor index *)
+  | Garbage_state of int    (* write this state word instead of FULL *)
+  | Race_header of int      (* rewrite len when the guest reads the header *)
+  | Corrupt_payload
+  | Replay_slot             (* republish the previous message once more *)
+
+type stats = {
+  mutable tx_forwarded : int;
+  mutable rx_injected : int;
+  mutable faults : int;  (* host accesses refused by memory protection *)
+}
+
+type t = {
+  mutable driver_tx : Ring.t;  (* we consume *)
+  mutable driver_rx : Ring.t;  (* we produce *)
+  transmit : bytes -> unit;
+  pending_rx : bytes Queue.t;
+  mutable misbehaviors : misbehavior list;
+  mutable last_frame : bytes option;
+  stats : stats;
+}
+
+let create ~(driver : Driver.t) ~transmit =
+  {
+    driver_tx = Driver.tx_ring driver;
+    driver_rx = Driver.rx_ring driver;
+    transmit;
+    pending_rx = Queue.create ();
+    misbehaviors = [];
+    last_frame = None;
+    stats = { tx_forwarded = 0; rx_injected = 0; faults = 0 };
+  }
+
+(* After a hot swap the old rings are revoked; the host re-attaches to the
+   new instance (in deployment: the hypervisor maps the new device). *)
+let reattach t ~(driver : Driver.t) =
+  t.driver_tx <- Driver.tx_ring driver;
+  t.driver_rx <- Driver.rx_ring driver
+
+let stats t = t.stats
+let inject t m = t.misbehaviors <- t.misbehaviors @ [ m ]
+
+let take t pred =
+  let rec go acc = function
+    | [] -> None
+    | m :: rest when pred m ->
+        t.misbehaviors <- List.rev_append acc rest;
+        Some m
+    | m :: rest -> go (m :: acc) rest
+  in
+  go [] t.misbehaviors
+
+let deliver_rx t frame =
+  (* Zero-length frames are meaningless on the ring (and rejected by it);
+     a real device would not generate them either. *)
+  if Bytes.length frame > 0 then Queue.add (Bytes.copy frame) t.pending_rx
+
+(* Post-produce header corruption for the attack experiments: the honest
+   produce path wrote a well-formed slot; the hostile host then scribbles
+   over the shared words. All writes go through the Host actor, so memory
+   protection and the region log both apply. *)
+let sabotage t =
+  (* Apply at most one header corruption per produced slot, so queued
+     misbehaviours land on successive messages rather than piling onto
+     the same slot. *)
+  let ring = t.driver_rx in
+  let region = Ring.region ring in
+  let last_slot () = ((Ring.counters ring).Ring.produced - 1) land (Ring.slots ring - 1) in
+  let applied = ref false in
+  let try_take pred f =
+    if not !applied then begin
+      match take t pred with
+      | Some m ->
+          applied := true;
+          f m
+      | None -> ()
+    end
+  in
+  try_take
+    (function Lie_len _ -> true | _ -> false)
+    (function
+      | Lie_len v -> Region.write_u32 region Host ~off:(Ring.header_offset ring (last_slot ()) + 4) v
+      | _ -> ());
+  try_take
+    (function Bad_index _ -> true | _ -> false)
+    (function
+      | Bad_index v -> Region.write_u32 region Host ~off:(Ring.header_offset ring (last_slot ()) + 8) v
+      | _ -> ());
+  try_take
+    (function Garbage_state _ -> true | _ -> false)
+    (function
+      | Garbage_state v -> Region.write_u32 region Host ~off:(Ring.header_offset ring (last_slot ())) v
+      | _ -> ());
+  try_take
+    (function Race_header _ -> true | _ -> false)
+    (function
+      | Race_header v ->
+          (* Rewrite the len field the instant the guest touches the
+             header. The guest's single 16-byte fetch has already captured
+             the honest words by then, so by construction there is no
+             second fetch for the lie to reach. *)
+          let target = Ring.header_offset ring (last_slot ()) in
+          Region.set_guest_read_hook region
+            (Some
+               (fun ~off ~len:_ ->
+                 if off = target then begin
+                   Region.set_guest_read_hook region None;
+                   Region.write_u32 region Host ~off:(target + 4) v
+                 end))
+      | _ -> ())
+
+let poll t =
+  (* TX direction: drain the guest's ring and forward. *)
+  let rec drain_tx () =
+    match Ring.try_consume t.driver_tx with
+    | Some frame ->
+        t.stats.tx_forwarded <- t.stats.tx_forwarded + 1;
+        t.transmit frame;
+        drain_tx ()
+    | None -> ()
+    | exception Region.Fault _ -> t.stats.faults <- t.stats.faults + 1
+  in
+  drain_tx ();
+  (* RX direction: push pending frames into the guest's RX ring. *)
+  let rec fill_rx () =
+    if not (Queue.is_empty t.pending_rx) then begin
+      let frame = Queue.peek t.pending_rx in
+      let frame =
+        match take t (function Corrupt_payload -> true | _ -> false) with
+        | Some Corrupt_payload ->
+            let f = Bytes.copy frame in
+            if Bytes.length f > 0 then
+              Bytes.set f 0 (Char.chr (Char.code (Bytes.get f 0) lxor 0xFF));
+            f
+        | _ -> frame
+      in
+      match Ring.try_produce t.driver_rx frame with
+      | true ->
+          ignore (Queue.take t.pending_rx);
+          t.stats.rx_injected <- t.stats.rx_injected + 1;
+          t.last_frame <- Some frame;
+          sabotage t;
+          (match take t (function Replay_slot -> true | _ -> false) with
+          | Some Replay_slot ->
+              (* Republish the same payload: a temporal attack. The safe
+                 ring makes this indistinguishable from the host licitly
+                 delivering the same bytes twice — exactly the paper's
+                 point that L2 cannot and need not stop replays; the L5
+                 record layer must (and does, see cio_tls tests). *)
+              ignore (Ring.try_produce t.driver_rx frame)
+          | _ -> ());
+          fill_rx ()
+      | false -> ()
+      | exception Region.Fault _ ->
+          t.stats.faults <- t.stats.faults + 1;
+          ignore (Queue.take t.pending_rx)
+    end
+  in
+  fill_rx ()
+
+let pending_rx_count t = Queue.length t.pending_rx

@@ -1,0 +1,34 @@
+(** Host-side cionet device model (strictly the [Host] actor), with the
+    same misbehaviour classes as the virtio device so E4 can aim identical
+    attacks at the safe interface. *)
+
+type misbehavior =
+  | Lie_len of int
+  | Bad_index of int
+  | Garbage_state of int
+  | Race_header of int
+  | Corrupt_payload
+  | Replay_slot
+
+type stats = {
+  mutable tx_forwarded : int;
+  mutable rx_injected : int;
+  mutable faults : int;
+}
+
+type t
+
+val create : driver:Driver.t -> transmit:(bytes -> unit) -> t
+
+val reattach : t -> driver:Driver.t -> unit
+(** Re-attach to a driver after {!Driver.hot_swap}. *)
+
+val stats : t -> stats
+val inject : t -> misbehavior -> unit
+val deliver_rx : t -> bytes -> unit
+
+val poll : t -> unit
+(** Drain the guest's TX ring (forwarding frames) and fill the RX ring
+    from pending frames. *)
+
+val pending_rx_count : t -> int

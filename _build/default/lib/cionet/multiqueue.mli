@@ -1,0 +1,26 @@
+(** Multi-queue cionet: N independent safe-ring devices with fixed flow
+    steering (no control plane, no steering renegotiation). Safety
+    properties compose per queue; per-queue meters expose the parallel
+    critical path. *)
+
+open Cio_util
+
+type t
+
+val create :
+  ?model:Cost.model -> ?host_meter:Cost.meter -> name:string -> queues:int -> Config.t -> t
+
+val queue_count : t -> int
+val queue : t -> int -> Driver.t
+val queues : t -> Driver.t list
+
+val queue_for : t -> flow_hash:int -> int
+(** Fixed steering (mask/modulo of the flow hash). *)
+
+val transmit : t -> flow_hash:int -> bytes -> bool
+val poll : t -> bytes option
+(** Round-robin drain across the queues. *)
+
+val total_cycles : t -> int
+val critical_path_cycles : t -> int
+(** Busiest queue: wall time with one core per queue. *)

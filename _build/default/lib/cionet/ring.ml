@@ -1,0 +1,389 @@
+(* The safe ring — §3.2's host↔TEE data path, safe by construction.
+
+   Design principles implemented here, mapped to the paper's bullets:
+
+   - *Stateless interface*: a slot is a self-contained transaction
+     { state, len, info, tag }. There are no cross-slot or cross-operation
+     dependencies, no sequence numbers to resynchronise, and no error
+     path: a malformed slot is skipped and counted, never "handled".
+   - *Copy as a first-class citizen*: the consumer performs exactly one
+     early copy (or one revocation) per message; nothing else ever touches
+     shared bytes twice.
+   - *No notifications*: both sides poll. (A stateless, idempotent
+     doorbell can be layered on top for E11; nothing in the ring needs it.)
+   - *Zero (re-)negotiation*: geometry and positioning are fixed at
+     construction; there is no control plane in the ring at all.
+   - *Safe ring buffer & shared data area*: every size is a power of two.
+     Slot cursors, pool indices and indirect buffer offsets taken from
+     shared memory are confined by masking — a wild value aliases a valid
+     slot instead of escaping the arena. Untrusted lengths are clamped to
+     the slot capacity. The header is fetched exactly once per operation
+     (double fetches are impossible by construction, so no copy is needed
+     to defend against them).
+
+   One ring carries one direction: the producer side is fixed at creation
+   (guest for TX, host for RX). Each side's cursor and allocator state is
+   private to that side; the only shared control word is [state]. *)
+
+open Cio_util
+open Cio_mem
+
+let state_empty = 0
+let state_full = 1
+
+let header_bytes = 16
+
+type layout = {
+  total : int;          (* bytes needed from base *)
+  hdr_off : int;        (* headers, slots * 16 *)
+  desc_off : int;       (* indirect descriptors (0 width otherwise) *)
+  desc_count : int;
+  data_off : int;       (* payload arena, power-of-two sized and aligned *)
+  data_size : int;
+  unit_size : int;      (* payload bytes per slot / pool slot *)
+  units : int;          (* number of payload units in the arena *)
+}
+
+let layout ~page_size ~slots (positioning : Config.positioning) =
+  if not (Bitops.is_power_of_two slots) then invalid_arg "Ring.layout: slots must be a power of two";
+  let unit_size, units, desc_count =
+    match positioning with
+    | Config.Inline { data_capacity } -> (data_capacity, slots, 0)
+    | Config.Pool { pool_slots; pool_slot_size } -> (pool_slot_size, pool_slots, 0)
+    | Config.Indirect { desc_count; pool_slots; pool_slot_size } ->
+        (pool_slot_size, pool_slots, desc_count)
+  in
+  if not (Bitops.is_power_of_two unit_size) then
+    invalid_arg "Ring.layout: payload unit size must be a power of two";
+  if not (Bitops.is_power_of_two units) then
+    invalid_arg "Ring.layout: payload unit count must be a power of two";
+  if desc_count <> 0 && not (Bitops.is_power_of_two desc_count) then
+    invalid_arg "Ring.layout: descriptor count must be a power of two";
+  let hdr_off = 0 in
+  let desc_off = hdr_off + (slots * header_bytes) in
+  let data_size = units * unit_size in
+  (* The arena is aligned to its own (power-of-two) size so that offset
+     confinement is a single AND, and to the page size so revocation can
+     operate on whole payload pages. *)
+  let align = max page_size data_size in
+  let data_off = Bitops.align_up (desc_off + (desc_count * 8)) ~align in
+  { total = data_off + data_size; hdr_off; desc_off; desc_count; data_off; data_size; unit_size; units }
+
+type counters = {
+  mutable produced : int;
+  mutable consumed : int;
+  mutable full_misses : int;   (* produce found no EMPTY slot *)
+  mutable empty_polls : int;   (* consume found no FULL slot *)
+  mutable len_clamped : int;   (* untrusted length confined *)
+  mutable index_masked : int;  (* untrusted index/offset confined *)
+  mutable state_skipped : int; (* malformed state word skipped *)
+}
+
+type t = {
+  region : Region.t;
+  base : int;
+  slots : int;
+  lay : layout;
+  positioning : Config.positioning;
+  producer : Region.actor;
+  guest_meter : Cost.meter;
+  host_meter : Cost.meter;
+  model : Cost.model;
+  mutable prod_next : int;  (* producer-private cursor *)
+  mutable cons_next : int;  (* consumer-private cursor *)
+  (* Producer-private payload allocator (pool / indirect modes): unit
+     bindings per ring slot, reclaimed lazily when the slot is reused. *)
+  free_units : int Queue.t;
+  bindings : int option array;
+  mutable next_desc : int;
+  mutable next_tag : int;
+  counters : counters;
+}
+
+let create ~region ~base ~slots ~positioning ~producer ~host_meter =
+  let lay = layout ~page_size:(Region.page_size region) ~slots positioning in
+  if base + lay.total > Region.size region then invalid_arg "Ring.create: does not fit in region";
+  if base mod max (Region.page_size region) 1 <> 0 then
+    invalid_arg "Ring.create: base must be page-aligned";
+  let t =
+    {
+      region;
+      base;
+      slots;
+      lay;
+      positioning;
+      producer;
+      guest_meter = Region.meter region;
+      host_meter;
+      model = Region.model region;
+      prod_next = 0;
+      cons_next = 0;
+      free_units = Queue.create ();
+      bindings = Array.make slots None;
+      next_desc = 0;
+      next_tag = 0;
+      counters =
+        {
+          produced = 0;
+          consumed = 0;
+          full_misses = 0;
+          empty_polls = 0;
+          len_clamped = 0;
+          index_masked = 0;
+          state_skipped = 0;
+        };
+    }
+  in
+  (match positioning with
+  | Config.Inline _ -> ()
+  | Config.Pool _ | Config.Indirect _ ->
+      for u = 0 to lay.units - 1 do
+        Queue.add u t.free_units
+      done);
+  t
+
+let counters t = t.counters
+let slots t = t.slots
+let region t = t.region
+let header_offset t slot = t.base + t.lay.hdr_off + (header_bytes * (slot land (t.slots - 1)))
+let capacity t = t.lay.unit_size
+let consumer t = match t.producer with Region.Guest -> Region.Host | Region.Host -> Region.Guest
+let data_arena t = (t.base + t.lay.data_off, t.lay.data_size)
+
+let meter_of t (actor : Region.actor) =
+  match actor with Region.Guest -> t.guest_meter | Region.Host -> t.host_meter
+
+let charge t actor cat cycles = Cost.charge (meter_of t actor) cat cycles
+
+let hdr_off t slot = t.base + t.lay.hdr_off + (header_bytes * (slot land (t.slots - 1)))
+let unit_off t u = t.base + t.lay.data_off + (t.lay.unit_size * (u land (t.lay.units - 1)))
+let desc_off t d = t.base + t.lay.desc_off + (8 * (d land (max t.lay.desc_count 1 - 1)))
+
+(* Single-fetch header read: one 16-byte pull, decoded privately. *)
+let read_header t actor slot =
+  charge t actor Cost.Ring t.model.Cost.ring_op;
+  let b =
+    match actor with
+    | Region.Guest -> Region.guest_read t.region ~off:(hdr_off t slot) ~len:header_bytes
+    | Region.Host -> Region.host_read t.region ~off:(hdr_off t slot) ~len:header_bytes
+  in
+  let state = Int32.to_int (Bytes.get_int32_le b 0) land 0xFFFFFFFF in
+  let len = Int32.to_int (Bytes.get_int32_le b 4) land 0xFFFFFFFF in
+  let info = Int32.to_int (Bytes.get_int32_le b 8) land 0xFFFFFFFF in
+  let tag = Int32.to_int (Bytes.get_int32_le b 12) land 0xFFFFFFFF in
+  (state, len, info, tag)
+
+let write_word t actor ~off v =
+  charge t actor Cost.Ring t.model.Cost.ring_op;
+  Region.write_u32 t.region actor ~off v
+
+let write_payload t actor ~off payload =
+  match actor with
+  | Region.Guest -> Region.copy_out t.region ~off payload
+  | Region.Host ->
+      Region.host_write t.region ~off payload;
+      charge t actor Cost.Dma (Cost.dma_cost t.model (Bytes.length payload))
+
+let read_payload t actor ~off ~len =
+  match actor with
+  | Region.Guest -> Region.copy_in t.region ~off ~len
+  | Region.Host ->
+      let b = Region.host_read t.region ~off ~len in
+      charge t actor Cost.Dma (Cost.dma_cost t.model len);
+      b
+
+(* Reclaim the payload unit a ring slot was last bound to (producer
+   private bookkeeping; the "free" control message is the slot's return
+   to EMPTY, which the producer observes on reuse). *)
+let reclaim_binding t slot =
+  match t.bindings.(slot land (t.slots - 1)) with
+  | None -> ()
+  | Some u ->
+      t.bindings.(slot land (t.slots - 1)) <- None;
+      Queue.add u t.free_units
+
+let try_produce t payload =
+  let actor = t.producer in
+  let len = Bytes.length payload in
+  if len > t.lay.unit_size then invalid_arg "Ring.try_produce: payload larger than slot capacity";
+  if len = 0 then invalid_arg "Ring.try_produce: messages carry at least one byte";
+  let slot = t.prod_next land (t.slots - 1) in
+  let state, _, _, _ = read_header t actor slot in
+  if state <> state_empty then begin
+    t.counters.full_misses <- t.counters.full_misses + 1;
+    false
+  end
+  else begin
+    reclaim_binding t slot;
+    let info =
+      match t.positioning with
+      | Config.Inline _ ->
+          write_payload t actor ~off:(unit_off t slot) payload;
+          0
+      | Config.Pool _ -> (
+          match Queue.take_opt t.free_units with
+          | None ->
+              t.counters.full_misses <- t.counters.full_misses + 1;
+              -1
+          | Some u ->
+              t.bindings.(slot) <- Some u;
+              write_payload t actor ~off:(unit_off t u) payload;
+              u)
+      | Config.Indirect _ -> (
+          match Queue.take_opt t.free_units with
+          | None ->
+              t.counters.full_misses <- t.counters.full_misses + 1;
+              -1
+          | Some u ->
+              t.bindings.(slot) <- Some u;
+              write_payload t actor ~off:(unit_off t u) payload;
+              let d = t.next_desc land (t.lay.desc_count - 1) in
+              t.next_desc <- t.next_desc + 1;
+              write_word t actor ~off:(desc_off t d) (unit_off t u - (t.base + t.lay.data_off));
+              write_word t actor ~off:(desc_off t d + 4) len;
+              d)
+    in
+    if info < 0 then false
+    else begin
+      (* Publish: len and info first, state FULL last. *)
+      write_word t actor ~off:(hdr_off t slot + 4) len;
+      write_word t actor ~off:(hdr_off t slot + 8) info;
+      write_word t actor ~off:(hdr_off t slot + 12) (t.next_tag land 0xFFFFFFFF);
+      t.next_tag <- t.next_tag + 1;
+      write_word t actor ~off:(hdr_off t slot) state_full;
+      t.prod_next <- t.prod_next + 1;
+      t.counters.produced <- t.counters.produced + 1;
+      true
+    end
+  end
+
+(* Resolve the payload location for a consumed slot, confining every
+   untrusted value by masking/clamping. *)
+let locate t actor slot ~len ~info =
+  let clamp len cap =
+    charge t actor Cost.Check t.model.Cost.check;
+    if len > cap then begin
+      t.counters.len_clamped <- t.counters.len_clamped + 1;
+      cap
+    end
+    else len
+  in
+  match t.positioning with
+  | Config.Inline _ ->
+      let len = clamp len t.lay.unit_size in
+      (unit_off t slot, len)
+  | Config.Pool _ ->
+      charge t actor Cost.Check t.model.Cost.check;
+      let u = info land (t.lay.units - 1) in
+      if u <> info then t.counters.index_masked <- t.counters.index_masked + 1;
+      let len = clamp len t.lay.unit_size in
+      (unit_off t u, len)
+  | Config.Indirect _ ->
+      charge t actor Cost.Check t.model.Cost.check;
+      let d = info land (t.lay.desc_count - 1) in
+      if d <> info then t.counters.index_masked <- t.counters.index_masked + 1;
+      (* Single fetch of the descriptor. *)
+      charge t actor Cost.Ring t.model.Cost.ring_op;
+      let db =
+        match actor with
+        | Region.Guest -> Region.guest_read t.region ~off:(desc_off t d) ~len:8
+        | Region.Host -> Region.host_read t.region ~off:(desc_off t d) ~len:8
+      in
+      let raw_off = Int32.to_int (Bytes.get_int32_le db 0) land 0xFFFFFFFF in
+      let dlen = Int32.to_int (Bytes.get_int32_le db 4) land 0xFFFFFFFF in
+      (* Confine the buffer offset: wrap into the arena, align down to a
+         unit boundary. A hostile offset aliases a valid unit. *)
+      charge t actor Cost.Check t.model.Cost.check;
+      let confined = Bitops.align_down (raw_off land (t.lay.data_size - 1)) ~align:t.lay.unit_size in
+      if confined <> raw_off then t.counters.index_masked <- t.counters.index_masked + 1;
+      let len = clamp (min len dlen) t.lay.unit_size in
+      (t.base + t.lay.data_off + confined, len)
+
+let try_consume t =
+  let actor = consumer t in
+  let slot = t.cons_next land (t.slots - 1) in
+  let state, len, info, _tag = read_header t actor slot in
+  if state = state_empty then begin
+    t.counters.empty_polls <- t.counters.empty_polls + 1;
+    None
+  end
+  else if state <> state_full then begin
+    (* Malformed state word: skip the slot entirely (no error path). *)
+    t.counters.state_skipped <- t.counters.state_skipped + 1;
+    write_word t actor ~off:(hdr_off t slot) state_empty;
+    t.cons_next <- t.cons_next + 1;
+    None
+  end
+  else begin
+    let off, len = locate t actor slot ~len ~info in
+    if len = 0 then begin
+      (* A message carries at least one byte by contract: a zero-length
+         claim is malformed, so the slot is skipped like any other
+         malformed slot (no error path). *)
+      t.counters.state_skipped <- t.counters.state_skipped + 1;
+      write_word t actor ~off:(hdr_off t slot) state_empty;
+      t.cons_next <- t.cons_next + 1;
+      None
+    end
+    else begin
+      let payload = read_payload t actor ~off ~len in
+      write_word t actor ~off:(hdr_off t slot) state_empty;
+      t.cons_next <- t.cons_next + 1;
+      t.counters.consumed <- t.counters.consumed + 1;
+      Some payload
+    end
+  end
+
+(* Zero-copy consume by revocation (guest consumer, Inline positioning):
+   unshare the payload pages, return a view of now-private memory, and
+   release by re-sharing + marking EMPTY. *)
+type zero_copy = { data : bytes; release : unit -> unit }
+
+let rec try_consume_revoke t =
+  let actor = consumer t in
+  if actor <> Region.Guest then invalid_arg "Ring.try_consume_revoke: guest-consumer rings only";
+  (match t.positioning with
+  | Config.Inline _ -> ()
+  | _ -> invalid_arg "Ring.try_consume_revoke: inline positioning only");
+  let slot = t.cons_next land (t.slots - 1) in
+  let state, len, _info, _tag = read_header t actor slot in
+  if state = state_empty then begin
+    t.counters.empty_polls <- t.counters.empty_polls + 1;
+    None
+  end
+  else if state <> state_full then begin
+    t.counters.state_skipped <- t.counters.state_skipped + 1;
+    write_word t actor ~off:(hdr_off t slot) state_empty;
+    t.cons_next <- t.cons_next + 1;
+    None
+  end
+  else begin
+    charge t actor Cost.Check t.model.Cost.check;
+    let len = min len t.lay.unit_size in
+    if len = 0 then begin
+      t.counters.state_skipped <- t.counters.state_skipped + 1;
+      write_word t actor ~off:(hdr_off t slot) state_empty;
+      t.cons_next <- t.cons_next + 1;
+      None
+    end
+    else revoke_consume t actor slot ~len
+  end
+
+and revoke_consume t actor slot ~len =
+  begin
+    let off = unit_off t slot in
+    (* Revoke the slot's pages: the host can no longer race the data. *)
+    Region.unshare_range t.region ~off ~len:t.lay.unit_size;
+    let data = Region.guest_read t.region ~off ~len in
+    let released = ref false in
+    let release () =
+      if not !released then begin
+        released := true;
+        Region.share_range t.region ~off ~len:t.lay.unit_size;
+        write_word t actor ~off:(hdr_off t slot) state_empty
+      end
+    in
+    t.cons_next <- t.cons_next + 1;
+    t.counters.consumed <- t.counters.consumed + 1;
+    Some { data; release }
+  end

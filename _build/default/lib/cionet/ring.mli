@@ -1,0 +1,78 @@
+(** The safe ring: §3.2's host↔TEE data path, safe by construction
+    (stateless slots, single-fetch headers, mask-confined indices and
+    offsets, clamped lengths, polling, zero negotiation).
+
+    One ring carries one direction; the producer actor is fixed at
+    creation. *)
+
+open Cio_util
+open Cio_mem
+
+val header_bytes : int
+
+type layout = {
+  total : int;
+  hdr_off : int;
+  desc_off : int;
+  desc_count : int;
+  data_off : int;
+  data_size : int;
+  unit_size : int;
+  units : int;
+}
+
+val layout : page_size:int -> slots:int -> Config.positioning -> layout
+(** Compute the shared-memory footprint; raises [Invalid_argument] on
+    non-power-of-two geometry. *)
+
+type counters = {
+  mutable produced : int;
+  mutable consumed : int;
+  mutable full_misses : int;
+  mutable empty_polls : int;
+  mutable len_clamped : int;
+  mutable index_masked : int;
+  mutable state_skipped : int;
+}
+
+type t
+
+val create :
+  region:Region.t ->
+  base:int ->
+  slots:int ->
+  positioning:Config.positioning ->
+  producer:Region.actor ->
+  host_meter:Cost.meter ->
+  t
+(** [base] must be page-aligned. Guest-side work is charged to the
+    region's meter, host-side work to [host_meter]. *)
+
+val counters : t -> counters
+val slots : t -> int
+val region : t -> Region.t
+
+val header_offset : t -> int -> int
+(** Absolute region offset of a slot's header — exposed for the attack
+    harness, which pokes shared memory as the host. *)
+
+val capacity : t -> int
+(** Maximum payload bytes per message. *)
+
+val consumer : t -> Region.actor
+val data_arena : t -> int * int
+(** (offset, size) of the payload arena within the region. *)
+
+val try_produce : t -> bytes -> bool
+(** Producer side: place one message; [false] when the ring (or the
+    payload pool) is full. *)
+
+val try_consume : t -> bytes option
+(** Consumer side, copy strategy: one early copy into private memory. *)
+
+type zero_copy = { data : bytes; release : unit -> unit }
+
+val try_consume_revoke : t -> zero_copy option
+(** Consumer side, revocation strategy (guest consumer, inline
+    positioning): unshare the payload pages and read in place; [release]
+    re-shares and returns the slot. *)

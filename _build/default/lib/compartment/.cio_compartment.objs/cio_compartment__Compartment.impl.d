@@ -1,0 +1,1 @@
+lib/compartment/compartment.ml: Bytes Cio_util Cost List Printf

@@ -1,0 +1,1 @@
+lib/compartment/compartment.mli: Cio_util Cost

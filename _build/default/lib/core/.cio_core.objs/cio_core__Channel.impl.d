@@ -1,0 +1,1 @@
+lib/core/channel.ml: Buffer Bytes Cio_tcpip Cio_tls Cio_util Cost List Queue Session Stack Tcp

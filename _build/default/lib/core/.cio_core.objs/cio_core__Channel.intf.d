@@ -1,0 +1,1 @@
+lib/core/channel.mli: Cio_tcpip Cio_tls Cio_util Cost Session Stack Tcp

@@ -1,0 +1,1 @@
+lib/core/configurations.mli: Cio_observe Cio_util Cost

@@ -1,0 +1,1 @@
+lib/core/dual.ml: Channel Cio_cionet Cio_compartment Cio_tcpip Cio_tls Cio_util Compartment Cost List Rng Session Stack Tcp

@@ -1,0 +1,1 @@
+lib/core/dual.mli: Addr Channel Cio_cionet Cio_compartment Cio_frame Cio_tcpip Cio_util Compartment Cost Rng Stack

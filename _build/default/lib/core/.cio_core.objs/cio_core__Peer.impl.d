@@ -1,0 +1,1 @@
+lib/core/peer.ml: Channel Cio_netsim Cio_tcpip Cio_tls Cio_util Cost Link List Netif Queue Rng Session Stack Tcp

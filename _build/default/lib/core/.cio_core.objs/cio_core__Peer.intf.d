@@ -1,0 +1,1 @@
+lib/core/peer.mli: Addr Channel Cio_frame Cio_netsim Cio_tcpip Cio_util Cost Link Rng Stack

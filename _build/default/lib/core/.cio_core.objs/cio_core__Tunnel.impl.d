@@ -1,0 +1,1 @@
+lib/core/tunnel.ml: Aead Bytes Cio_crypto Int64

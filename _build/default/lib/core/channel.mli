@@ -1,0 +1,49 @@
+(** Secure L5 channel: a {!Cio_tls.Session.t} over a TCP connection in the
+    (possibly untrusted) I/O stack, with the L5 boundary expressed as the
+    [enter_io] wrapper and the §3.2 copy knobs. *)
+
+open Cio_util
+open Cio_tcpip
+open Cio_tls
+
+type t
+
+val create :
+  ?zero_copy_send:bool ->
+  ?copy_on_recv:bool ->
+  ?enter_io:((unit -> unit) -> unit) ->
+  ?model:Cost.model ->
+  meter:Cost.meter ->
+  session:Session.t ->
+  stack:Stack.t ->
+  conn:Tcp.conn ->
+  unit ->
+  t
+
+val session : t -> Session.t
+val conn : t -> Tcp.conn
+val error : t -> Session.error option
+val sent_messages : t -> int
+val received_messages : t -> int
+
+val start_handshake : t -> (unit, Session.error) result
+(** Client side: emit the opening flight. *)
+
+val send : t -> bytes -> (unit, Session.error) result
+(** Seal and queue one message (app side; no boundary crossing). *)
+
+val io_pump : t -> bool
+(** I/O-domain half: flush the outbox into TCP and harvest stream bytes.
+    The caller must already be inside the I/O domain. Returns whether any
+    bytes crossed the L5 boundary (for handoff-crossing accounting). *)
+
+val app_pump : t -> unit
+(** App-side half: run harvested bytes through the record layer. *)
+
+val pump : t -> unit
+(** Standalone convenience: one boundary crossing around {!io_pump}, then
+    {!app_pump}. *)
+
+val recv : t -> bytes option
+val pending : t -> int
+val is_established : t -> bool

@@ -1,0 +1,65 @@
+(** The five confidential-I/O architectures of Figure 5, built end-to-end
+    on the same simulated substrate, plus the echo-workload runner that
+    measures them on the figure's three axes (performance, TCB,
+    observability). *)
+
+open Cio_util
+
+type kind = Syscall_l5 | Passthrough_l2 | Hardened_virtio | Tunneled | Dual_boundary
+
+val kind_name : kind -> string
+val all_kinds : kind list
+
+type metrics = {
+  kind : kind;
+  completed : bool;
+  messages : int;
+  app_bytes : int;
+  guest : Cost.meter;
+  host : Cost.meter;
+  sim_ns : int64;
+  tap : Cio_observe.Observe.t;
+  link_frames : int;
+  link_bytes : int;
+  tcb_core_loc : int;
+  tcb_quarantined_loc : int;
+  crossings : int;
+}
+
+val cycles_per_byte : metrics -> float
+(** The performance axis: TEE cycles per application byte (lower is
+    faster). *)
+
+val run_echo :
+  ?seed:int64 ->
+  ?msg_size:int ->
+  ?messages:int ->
+  ?window:int ->
+  ?latency_ns:int64 ->
+  ?gbps:float ->
+  ?quantum_ns:int64 ->
+  ?max_steps:int ->
+  ?model:Cost.model ->
+  kind ->
+  metrics
+
+(** {1 E16 decomposition ablation} *)
+
+type transport_choice = T_virtio_hardened | T_cionet
+
+val transport_name : transport_choice -> string
+
+val run_echo_custom :
+  ?seed:int64 ->
+  ?msg_size:int ->
+  ?messages:int ->
+  ?window:int ->
+  ?quantum_ns:int64 ->
+  ?max_steps:int ->
+  ?model:Cost.model ->
+  transport:transport_choice ->
+  quarantined:bool ->
+  unit ->
+  bool * float * int
+(** (completed, cycles per app byte, L5 crossings) for a transport ×
+    boundary-placement cell. *)

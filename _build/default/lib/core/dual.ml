@@ -1,0 +1,116 @@
+(* The dual-boundary confidential unit — the paper's proposed design,
+   assembled: a strong, safe-by-construction host boundary at L2
+   (cionet), the whole TCP/IP stack quarantined in an intra-TEE
+   compartment, and a lightweight single-distrust boundary at L5 where
+   the mandatory TLS layer authenticates everything the stack delivers.
+
+   Ternary trust model (§3.1):
+     app domain   — trusts nothing below it; its data never leaves
+                    unsealed;
+     I/O stack    — trusted by nobody, trusts the app; compromise yields
+                    observability only;
+     host         — trusted by nobody; sees exactly what it could see on
+                    the wire. *)
+
+open Cio_util
+open Cio_tcpip
+open Cio_tls
+open Cio_compartment
+
+type t = {
+  world : Compartment.t;
+  app : Compartment.domain;
+  io : Compartment.domain;
+  driver : Cio_cionet.Driver.t;
+  stack : Stack.t;
+  meter : Cost.meter;
+  model : Cost.model;
+  psk : bytes;
+  psk_id : string;
+  rng : Rng.t;
+  zero_copy_send : bool;
+  copy_on_recv : bool;
+  mutable channels : Channel.t list;
+}
+
+type listener = { tcp_listener : Tcp.listener; unit_ : t }
+
+let enter_io t f = Compartment.call t.world ~caller:t.app ~callee:t.io f
+
+let create ?(cionet_config = Cio_cionet.Config.default) ?mac ?(model = Cost.default)
+    ?(crossing = Compartment.Gate) ?(zero_copy_send = true) ?(copy_on_recv = true) ~name ~ip
+    ~neighbors ~psk ~psk_id ~rng ~now () =
+  let cionet_config =
+    match mac with
+    | Some mac -> { cionet_config with Cio_cionet.Config.mac }
+    | None -> cionet_config
+  in
+  let meter = Cost.meter () in
+  let world = Compartment.create ~model ~meter ~crossing () in
+  let app = Compartment.add_domain world ~name:"app" in
+  let io = Compartment.add_domain world ~name:"iostack" in
+  let driver = Cio_cionet.Driver.create ~model ~meter ~name cionet_config in
+  let netif = Cio_cionet.Driver.to_netif driver in
+  let stack = Stack.create ~model ~meter ~netif ~ip ~neighbors ~now ~rng () in
+  {
+    world;
+    app;
+    io;
+    driver;
+    stack;
+    meter;
+    model;
+    psk;
+    psk_id;
+    rng;
+    zero_copy_send;
+    copy_on_recv;
+    channels = [];
+  }
+
+let meter t = t.meter
+let driver t = t.driver
+let stack t = t.stack
+let world t = t.world
+let app_domain t = t.app
+let io_domain t = t.io
+let crossings t = (Compartment.counters t.world).Compartment.crossings
+
+let make_channel t ~role ~conn =
+  let session =
+    Session.create ~model:t.model ~meter:t.meter ~role ~psk:t.psk ~psk_id:t.psk_id ~rng:t.rng ()
+  in
+  let ch =
+    Channel.create ~zero_copy_send:t.zero_copy_send ~copy_on_recv:t.copy_on_recv
+      ~enter_io:(fun f -> enter_io t f) ~model:t.model ~meter:t.meter ~session ~stack:t.stack
+      ~conn ()
+  in
+  t.channels <- ch :: t.channels;
+  ch
+
+let connect t ~dst ~dst_port =
+  let conn = enter_io t (fun () -> Tcp.connect (Stack.tcp t.stack) ~dst ~dst_port ()) in
+  let ch = make_channel t ~role:Session.Client ~conn in
+  match Channel.start_handshake ch with Ok () -> ch | Error _ -> ch
+
+let listen t ~port =
+  { tcp_listener = enter_io t (fun () -> Tcp.listen (Stack.tcp t.stack) ~port ()); unit_ = t }
+
+let accept l =
+  let t = l.unit_ in
+  match enter_io t (fun () -> Tcp.accept l.tcp_listener) with
+  | None -> None
+  | Some conn -> Some (make_channel t ~role:Session.Server ~conn)
+
+(* One scheduling quantum of the confidential unit. The I/O compartment
+   is modelled as asynchronously scheduled (its polling loop runs on its
+   own logical core, like a kernel io-thread), so its continuous polling
+   does not cross the L5 boundary; what costs a gate round trip is each
+   *data handoff* between the app and the I/O domain, which is what the
+   paper's latency argument is about. *)
+let poll t =
+  Stack.poll t.stack;
+  List.iter
+    (fun ch -> if Channel.io_pump ch then Compartment.charge_crossing t.world)
+    t.channels;
+  List.iter Channel.app_pump t.channels

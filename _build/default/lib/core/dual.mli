@@ -1,0 +1,46 @@
+(** The dual-boundary confidential unit (the paper's proposed design):
+    safe L2 host boundary (cionet) + quarantined TCP/IP compartment +
+    mandatory TLS at the lightweight L5 boundary. *)
+
+open Cio_util
+open Cio_frame
+open Cio_tcpip
+open Cio_compartment
+
+type t
+type listener
+
+val create :
+  ?cionet_config:Cio_cionet.Config.t ->
+  ?mac:Addr.mac ->
+  ?model:Cost.model ->
+  ?crossing:Compartment.crossing ->
+  ?zero_copy_send:bool ->
+  ?copy_on_recv:bool ->
+  name:string ->
+  ip:Addr.ipv4 ->
+  neighbors:(Addr.ipv4 * Addr.mac) list ->
+  psk:bytes ->
+  psk_id:string ->
+  rng:Rng.t ->
+  now:(unit -> int64) ->
+  unit ->
+  t
+(** [crossing] selects the L5 boundary mechanism (compartment gate by
+    default; [Tee_switch] models the two-enclave alternative for E8). *)
+
+val meter : t -> Cost.meter
+val driver : t -> Cio_cionet.Driver.t
+val stack : t -> Stack.t
+val world : t -> Compartment.t
+val app_domain : t -> Compartment.domain
+val io_domain : t -> Compartment.domain
+val crossings : t -> int
+
+val connect : t -> dst:Addr.ipv4 -> dst_port:int -> Channel.t
+val listen : t -> port:int -> listener
+val accept : listener -> Channel.t option
+
+val poll : t -> unit
+(** One quantum: cross into the I/O domain once, poll driver + stack,
+    then pump every channel's record layer on the app side. *)

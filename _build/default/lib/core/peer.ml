@@ -1,0 +1,117 @@
+(* Plain (non-confidential) remote endpoint on the simulated network: the
+   tenant's client, a remote service, or the far end of a tunnel. Runs
+   the same stack and TLS code but in a trusted environment — no
+   compartment, no distrust copies — and its cycles are charged to its
+   own meter, not the TEE's. *)
+
+open Cio_util
+open Cio_netsim
+open Cio_tcpip
+open Cio_tls
+
+type t = {
+  stack : Stack.t;
+  meter : Cost.meter;
+  model : Cost.model;
+  psk : bytes;
+  psk_id : string;
+  rng : Rng.t;
+  mutable channels : Channel.t list;
+  mutable echo_channels : Channel.t list;
+  mutable listeners : (Tcp.listener * [ `Echo | `Sink ]) list;
+  mutable echoed : int;
+}
+
+let create_with_netif ?(model = Cost.default) ~netif ~ip ~neighbors ~psk ~psk_id ~rng ~now () =
+  let meter = Cost.meter () in
+  let stack = Stack.create ~model ~meter ~netif ~ip ~neighbors ~now ~rng () in
+  {
+    stack;
+    meter;
+    model;
+    psk;
+    psk_id;
+    rng;
+    channels = [];
+    echo_channels = [];
+    listeners = [];
+    echoed = 0;
+  }
+
+let create ?(model = Cost.default) ?frame_codec ~link ~endpoint ~ip ~mac ~neighbors ~psk ~psk_id
+    ~rng ~now () =
+  let rxq = Queue.create () in
+  Link.attach link endpoint (fun frame -> Queue.add frame rxq);
+  let encode, decode =
+    match frame_codec with
+    | Some (e, d) -> (e, d)
+    | None -> ((fun f -> f), fun f -> Some f)
+  in
+  let netif =
+    {
+      Netif.mac;
+      mtu = 1500;
+      transmit = (fun frame -> Link.send link ~src:endpoint (encode frame));
+      poll =
+        (fun () ->
+          if Queue.is_empty rxq then None
+          else begin
+            match decode (Queue.take rxq) with Some f -> Some f | None -> None
+          end);
+    }
+  in
+  create_with_netif ~model ~netif ~ip ~neighbors ~psk ~psk_id ~rng ~now ()
+
+let stack t = t.stack
+let meter t = t.meter
+let echoed t = t.echoed
+
+let make_channel t ~role ~conn =
+  let session =
+    Session.create ~model:t.model ~meter:t.meter ~role ~psk:t.psk ~psk_id:t.psk_id ~rng:t.rng ()
+  in
+  let ch = Channel.create ~model:t.model ~meter:t.meter ~session ~stack:t.stack ~conn () in
+  t.channels <- ch :: t.channels;
+  ch
+
+let connect t ~dst ~dst_port =
+  let conn = Tcp.connect (Stack.tcp t.stack) ~dst ~dst_port () in
+  let ch = make_channel t ~role:Session.Client ~conn in
+  ignore (Channel.start_handshake ch);
+  ch
+
+let serve t ~port mode =
+  let l = Tcp.listen (Stack.tcp t.stack) ~port () in
+  t.listeners <- (l, mode) :: t.listeners
+
+let serve_echo t ~port = serve t ~port `Echo
+
+let poll t =
+  Stack.poll t.stack;
+  (* Accept pending connections on every listener. *)
+  List.iter
+    (fun (l, mode) ->
+      let rec accept_all () =
+        match Tcp.accept l with
+        | None -> ()
+        | Some conn ->
+            let ch = make_channel t ~role:Session.Server ~conn in
+            (match mode with `Echo -> t.echo_channels <- ch :: t.echo_channels | `Sink -> ());
+            accept_all ()
+      in
+      accept_all ())
+    t.listeners;
+  List.iter Channel.pump t.channels;
+  (* Echo service: bounce every received message straight back. *)
+  List.iter
+    (fun ch ->
+      let rec echo () =
+        match Channel.recv ch with
+        | Some msg ->
+            t.echoed <- t.echoed + 1;
+            ignore (Channel.send ch msg);
+            echo ()
+        | None -> ()
+      in
+      echo ())
+    t.echo_channels

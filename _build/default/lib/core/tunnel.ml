@@ -1,0 +1,49 @@
+(* LightBox-style L2 tunnel: every Ethernet frame is sealed into an AEAD
+   blob and padded to a fixed size, so the host and network observe only
+   uniform ciphertext at uniform cadence. Format:
+
+     nonce(12) | u16 padded_len | ciphertext( u16 true_len | frame | pad ) | tag
+
+   The nonce is a counter kept by the sealing side; the tunnel is
+   point-to-point with one key per direction pair, which suffices for the
+   observability experiment. *)
+
+open Cio_crypto
+
+let counter = ref 0L
+
+let seal ~key ~pad_to frame =
+  let true_len = Bytes.length frame in
+  let inner_len = max (2 + true_len) (pad_to - Aead.nonce_len - 2 - Aead.tag_len) in
+  let inner = Bytes.make inner_len '\000' in
+  Bytes.set_uint16_le inner 0 true_len;
+  Bytes.blit frame 0 inner 2 true_len;
+  counter := Int64.add !counter 1L;
+  let nonce = Bytes.make Aead.nonce_len '\000' in
+  Bytes.set_int64_le nonce 0 !counter;
+  let sealed = Aead.seal ~key ~nonce ~aad:Bytes.empty inner in
+  let out = Bytes.create (Aead.nonce_len + 2 + Bytes.length sealed) in
+  Bytes.blit nonce 0 out 0 Aead.nonce_len;
+  Bytes.set_uint16_le out Aead.nonce_len (Bytes.length sealed);
+  Bytes.blit sealed 0 out (Aead.nonce_len + 2) (Bytes.length sealed);
+  out
+
+let open_ ~key blob =
+  let n = Bytes.length blob in
+  if n < Aead.nonce_len + 2 + Aead.tag_len then None
+  else begin
+    let nonce = Bytes.sub blob 0 Aead.nonce_len in
+    let slen = Bytes.get_uint16_le blob Aead.nonce_len in
+    if Aead.nonce_len + 2 + slen > n then None
+    else begin
+      let sealed = Bytes.sub blob (Aead.nonce_len + 2) slen in
+      match Aead.open_ ~key ~nonce ~aad:Bytes.empty sealed with
+      | None -> None
+      | Some inner ->
+          if Bytes.length inner < 2 then None
+          else begin
+            let true_len = Bytes.get_uint16_le inner 0 in
+            if 2 + true_len > Bytes.length inner then None else Some (Bytes.sub inner 2 true_len)
+          end
+    end
+  end

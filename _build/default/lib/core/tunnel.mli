@@ -1,0 +1,5 @@
+(** LightBox-style L2 tunnel: frames sealed into fixed-size AEAD blobs so
+    the host observes only uniform ciphertext. *)
+
+val seal : key:bytes -> pad_to:int -> bytes -> bytes
+val open_ : key:bytes -> bytes -> bytes option

@@ -1,0 +1,1 @@
+lib/crypto/aead.ml: Bytes Chacha20 Ct Int64 Poly1305

@@ -1,0 +1,1 @@
+lib/crypto/poly1305.mli:

@@ -1,0 +1,1 @@
+lib/crypto/sha256.ml: Array Bytes Cio_util Int32 Int64

@@ -1,0 +1,59 @@
+(* ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+
+   The L5 record layer's only cipher. Decryption verifies the tag with a
+   branch-free comparison before releasing any plaintext. *)
+
+let tag_len = 16
+let key_len = 32
+let nonce_len = 12
+
+let poly_key ~key ~nonce =
+  Bytes.sub (Chacha20.block ~key ~nonce ~counter:0l) 0 32
+
+let pad16 p n = if n mod 16 = 0 then () else Poly1305.feed_bytes p (Bytes.make (16 - (n mod 16)) '\000')
+
+let le64 v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  b
+
+let compute_tag ~key ~nonce ~aad ~ciphertext =
+  let otk = poly_key ~key ~nonce in
+  let p = Poly1305.init ~key:otk in
+  Poly1305.feed_bytes p aad;
+  pad16 p (Bytes.length aad);
+  Poly1305.feed_bytes p ciphertext;
+  pad16 p (Bytes.length ciphertext);
+  Poly1305.feed_bytes p (le64 (Bytes.length aad));
+  Poly1305.feed_bytes p (le64 (Bytes.length ciphertext));
+  Poly1305.finish p
+
+let encrypt ~key ~nonce ~aad plaintext =
+  if Bytes.length key <> key_len then invalid_arg "Aead.encrypt: bad key length";
+  if Bytes.length nonce <> nonce_len then invalid_arg "Aead.encrypt: bad nonce length";
+  let ciphertext = Chacha20.encrypt ~counter:1l ~key ~nonce plaintext in
+  let tag = compute_tag ~key ~nonce ~aad ~ciphertext in
+  (ciphertext, tag)
+
+let decrypt ~key ~nonce ~aad ~tag ciphertext =
+  if Bytes.length key <> key_len then invalid_arg "Aead.decrypt: bad key length";
+  if Bytes.length nonce <> nonce_len then invalid_arg "Aead.decrypt: bad nonce length";
+  if Bytes.length tag <> tag_len then None
+  else begin
+    let expected = compute_tag ~key ~nonce ~aad ~ciphertext in
+    if Ct.equal expected tag then Some (Chacha20.decrypt ~counter:1l ~key ~nonce ciphertext)
+    else None
+  end
+
+let seal ~key ~nonce ~aad plaintext =
+  let c, t = encrypt ~key ~nonce ~aad plaintext in
+  Bytes.cat c t
+
+let open_ ~key ~nonce ~aad sealed =
+  let n = Bytes.length sealed in
+  if n < tag_len then None
+  else begin
+    let ciphertext = Bytes.sub sealed 0 (n - tag_len) in
+    let tag = Bytes.sub sealed (n - tag_len) tag_len in
+    decrypt ~key ~nonce ~aad ~tag ciphertext
+  end

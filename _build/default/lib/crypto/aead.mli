@@ -1,0 +1,16 @@
+(** ChaCha20-Poly1305 AEAD (RFC 8439 §2.8). *)
+
+val tag_len : int
+val key_len : int
+val nonce_len : int
+
+val encrypt : key:bytes -> nonce:bytes -> aad:bytes -> bytes -> bytes * bytes
+(** [(ciphertext, tag)]. *)
+
+val decrypt : key:bytes -> nonce:bytes -> aad:bytes -> tag:bytes -> bytes -> bytes option
+(** [None] on authentication failure; no plaintext is released. *)
+
+val seal : key:bytes -> nonce:bytes -> aad:bytes -> bytes -> bytes
+(** Ciphertext with the tag appended. *)
+
+val open_ : key:bytes -> nonce:bytes -> aad:bytes -> bytes -> bytes option

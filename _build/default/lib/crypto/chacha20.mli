@@ -1,0 +1,11 @@
+(** ChaCha20 stream cipher (RFC 8439). *)
+
+val block : key:bytes -> nonce:bytes -> counter:int32 -> bytes
+(** One 64-byte keystream block. [key] is 32 bytes, [nonce] 12 bytes. *)
+
+val encrypt : ?counter:int32 -> key:bytes -> nonce:bytes -> bytes -> bytes
+(** XOR with the keystream starting at [counter] (default 1, the AEAD
+    convention). *)
+
+val decrypt : ?counter:int32 -> key:bytes -> nonce:bytes -> bytes -> bytes
+(** Identical to [encrypt]; the cipher is an involution. *)

@@ -1,0 +1,15 @@
+(* Constant-time(-shaped) comparison.
+
+   OCaml cannot promise cycle-exact constant time, but the comparison is
+   branch-free over the data so the *interface discipline* — never
+   early-exit on a tag mismatch — is preserved, which is what the safe-
+   interface principles require of implementations. *)
+
+let equal a b =
+  Bytes.length a = Bytes.length b
+  &&
+  let acc = ref 0 in
+  for i = 0 to Bytes.length a - 1 do
+    acc := !acc lor (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i))
+  done;
+  !acc = 0

@@ -1,0 +1,3 @@
+(** Branch-free byte comparison for MAC/tag verification. *)
+
+val equal : bytes -> bytes -> bool

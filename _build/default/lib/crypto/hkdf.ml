@@ -1,0 +1,38 @@
+(* HKDF-SHA256 (RFC 5869). Drives the L5 key schedule: the attestation-
+   provisioned PSK is expanded into per-direction record keys. *)
+
+let hash_len = 32
+
+let extract ?salt ~ikm () =
+  let salt = match salt with Some s -> s | None -> Bytes.make hash_len '\000' in
+  Hmac.digest_bytes ~key:salt ikm
+
+let expand ~prk ~info ~len =
+  if len < 0 || len > 255 * hash_len then invalid_arg "Hkdf.expand: invalid length";
+  let blocks = (len + hash_len - 1) / hash_len in
+  let out = Buffer.create len in
+  let prev = ref Bytes.empty in
+  for i = 1 to blocks do
+    let h = Hmac.init ~key:prk in
+    Hmac.feed_bytes h !prev;
+    Hmac.feed_bytes h info;
+    Hmac.feed_bytes h (Bytes.make 1 (Char.chr i));
+    prev := Hmac.finish h;
+    Buffer.add_bytes out !prev
+  done;
+  Bytes.sub (Buffer.to_bytes out) 0 len
+
+let derive ?salt ~ikm ~info ~len () =
+  let prk = extract ?salt ~ikm () in
+  expand ~prk ~info ~len
+
+let expand_label ~prk ~label ~context ~len =
+  (* TLS-1.3-style labelled expansion, scoped to this simulator. *)
+  let info = Buffer.create 32 in
+  Buffer.add_uint16_be info len;
+  let full_label = "cio13 " ^ label in
+  Buffer.add_uint8 info (String.length full_label);
+  Buffer.add_string info full_label;
+  Buffer.add_uint8 info (Bytes.length context);
+  Buffer.add_bytes info context;
+  expand ~prk ~info:(Buffer.to_bytes info) ~len

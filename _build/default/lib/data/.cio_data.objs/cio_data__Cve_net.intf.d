@@ -1,0 +1,1 @@
+lib/data/cve_net.mli: Format

@@ -1,0 +1,1 @@
+lib/data/hardening.ml: Fmt List Printf String

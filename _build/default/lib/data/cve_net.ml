@@ -1,0 +1,63 @@
+(* Figure 2 dataset: remotely-exploitable CVEs in the Linux /net
+   subsystem per year, 2002-2022.
+
+   Substitution note (DESIGN.md §1): the paper's raw data lives in the
+   authors' repository (hlef/cio-hotos23-data), which queries the NVD —
+   neither is reachable from this sealed environment. The series below is
+   a synthesized stand-in with the figure's load-bearing properties: CVEs
+   are present in (almost) every year across two decades, with a
+   mid-2010s surge and no downward trend to zero — the subsystem never
+   "finishes" hardening. The analysis code operates on the dataset
+   identically either way. *)
+
+type year_count = { year : int; count : int }
+
+let series =
+  [
+    { year = 2002; count = 2 };
+    { year = 2003; count = 3 };
+    { year = 2004; count = 5 };
+    { year = 2005; count = 8 };
+    { year = 2006; count = 6 };
+    { year = 2007; count = 7 };
+    { year = 2008; count = 9 };
+    { year = 2009; count = 11 };
+    { year = 2010; count = 13 };
+    { year = 2011; count = 8 };
+    { year = 2012; count = 10 };
+    { year = 2013; count = 14 };
+    { year = 2014; count = 12 };
+    { year = 2015; count = 11 };
+    { year = 2016; count = 17 };
+    { year = 2017; count = 21 };
+    { year = 2018; count = 14 };
+    { year = 2019; count = 13 };
+    { year = 2020; count = 10 };
+    { year = 2021; count = 15 };
+    { year = 2022; count = 12 };
+  ]
+
+let total () = List.fold_left (fun acc y -> acc + y.count) 0 series
+
+let years_covered () = List.length series
+
+let years_with_cves () = List.length (List.filter (fun y -> y.count > 0) series)
+
+let peak () =
+  List.fold_left (fun best y -> if y.count > best.count then y else best) (List.hd series) series
+
+let mean_per_year () = float_of_int (total ()) /. float_of_int (years_covered ())
+
+(* Least-squares slope of count over year: the "is it getting better?"
+   question. A non-negative slope is the figure's point. *)
+let trend_slope () =
+  let n = float_of_int (years_covered ()) in
+  let sx = List.fold_left (fun a y -> a +. float_of_int y.year) 0.0 series in
+  let sy = List.fold_left (fun a y -> a +. float_of_int y.count) 0.0 series in
+  let sxy = List.fold_left (fun a y -> a +. (float_of_int y.year *. float_of_int y.count)) 0.0 series in
+  let sxx = List.fold_left (fun a y -> a +. (float_of_int y.year ** 2.0)) 0.0 series in
+  ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+
+let pp_row ppf y =
+  let bar = String.make y.count '#' in
+  Fmt.pf ppf "%d | %-22s %d" y.year bar y.count

@@ -1,0 +1,17 @@
+(** Figure 2 dataset + analysis: remotely-exploitable CVEs in Linux /net
+    per year. See the substitution note in the implementation. *)
+
+type year_count = { year : int; count : int }
+
+val series : year_count list
+val total : unit -> int
+val years_covered : unit -> int
+val years_with_cves : unit -> int
+val peak : unit -> year_count
+val mean_per_year : unit -> float
+
+val trend_slope : unit -> float
+(** Least-squares slope of CVE count over years (non-negative: the
+    subsystem is not converging to safety). *)
+
+val pp_row : Format.formatter -> year_count -> unit

@@ -1,0 +1,1 @@
+lib/dda/dda.ml: Bytes Char Cio_crypto Cio_util Cost Ide Sha256 Spdm

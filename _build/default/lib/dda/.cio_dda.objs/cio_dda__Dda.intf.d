@@ -1,0 +1,1 @@
+lib/dda/dda.mli: Cio_util Cost Rng Spdm

@@ -1,0 +1,1 @@
+lib/dda/ide.ml: Aead Bytes Cio_crypto Cio_util Cost Int64

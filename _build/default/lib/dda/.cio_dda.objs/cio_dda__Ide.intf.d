@@ -1,0 +1,1 @@
+lib/dda/ide.mli: Cio_util Cost

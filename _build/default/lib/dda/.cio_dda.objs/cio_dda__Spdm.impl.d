@@ -1,0 +1,1 @@
+lib/dda/spdm.ml: Aead Bytes Cio_crypto Cio_util Ct Hkdf Hmac Int64 List

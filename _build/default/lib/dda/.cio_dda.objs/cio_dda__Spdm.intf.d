@@ -1,0 +1,1 @@
+lib/dda/spdm.mli: Cio_util Rng

@@ -1,0 +1,12 @@
+(** Experiment registry: every paper figure (fig2-fig5) and §3 exploration
+    (e1-e11), each printing the rows/series the figure reports. *)
+
+val all : (string * string * (Format.formatter -> unit -> unit)) list
+(** (id, title, run). *)
+
+val find : string -> (string * string * (Format.formatter -> unit -> unit)) option
+
+val run_one : Format.formatter -> string -> bool
+(** [false] if the id is unknown. *)
+
+val run_all : Format.formatter -> unit -> unit

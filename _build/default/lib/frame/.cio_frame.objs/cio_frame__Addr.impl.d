@@ -1,0 +1,1 @@
+lib/frame/addr.ml: Fmt Int32 String

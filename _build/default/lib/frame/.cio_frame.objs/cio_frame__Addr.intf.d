@@ -1,0 +1,1 @@
+lib/frame/addr.mli: Format

@@ -1,0 +1,1 @@
+lib/frame/checksum.ml: Bytes Char

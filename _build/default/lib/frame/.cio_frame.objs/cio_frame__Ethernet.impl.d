@@ -1,0 +1,1 @@
+lib/frame/ethernet.ml: Addr Bytes Char Fmt

@@ -1,0 +1,1 @@
+lib/frame/ethernet.mli: Addr Format

@@ -1,0 +1,1 @@
+lib/frame/ipv4.ml: Addr Bytes Char Checksum Fmt

@@ -1,0 +1,1 @@
+lib/frame/ipv4.mli: Addr Format

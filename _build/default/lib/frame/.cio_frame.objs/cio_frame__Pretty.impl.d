@@ -1,0 +1,1 @@
+lib/frame/pretty.ml: Addr Bytes Ethernet Fmt Ipv4 Printf Tcp_wire Udp

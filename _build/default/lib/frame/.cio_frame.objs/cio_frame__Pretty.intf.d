@@ -1,0 +1,1 @@
+lib/frame/pretty.mli:

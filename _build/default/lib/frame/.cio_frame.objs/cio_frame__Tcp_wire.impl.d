@@ -1,0 +1,1 @@
+lib/frame/tcp_wire.ml: Bytes Char Checksum Fmt Int32 String

@@ -1,0 +1,1 @@
+lib/frame/tcp_wire.mli: Addr Format

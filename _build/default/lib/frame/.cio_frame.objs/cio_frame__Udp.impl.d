@@ -1,0 +1,1 @@
+lib/frame/udp.ml: Bytes Checksum Fmt

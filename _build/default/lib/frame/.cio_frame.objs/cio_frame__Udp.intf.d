@@ -1,0 +1,1 @@
+lib/frame/udp.mli: Addr Format

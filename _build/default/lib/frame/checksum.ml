@@ -1,0 +1,33 @@
+(* RFC 1071 Internet checksum, shared by IPv4/UDP/TCP. *)
+
+let ones_complement_sum b ~pos ~len ~init =
+  let sum = ref init in
+  let i = ref pos in
+  let stop = pos + len in
+  while !i + 1 < stop do
+    sum := !sum + Bytes.get_uint16_be b !i;
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get b !i) lsl 8);
+  (* Fold carries. *)
+  let s = ref !sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  !s
+
+let finish sum = lnot sum land 0xFFFF
+
+let compute b ~pos ~len = finish (ones_complement_sum b ~pos ~len ~init:0)
+
+let verify b ~pos ~len = ones_complement_sum b ~pos ~len ~init:0 = 0xFFFF
+
+(* Pseudo-header contribution for UDP/TCP checksums. *)
+let pseudo_header ~src ~dst ~proto ~length =
+  let b = Bytes.create 12 in
+  Bytes.set_int32_be b 0 src;
+  Bytes.set_int32_be b 4 dst;
+  Bytes.set b 8 '\000';
+  Bytes.set b 9 (Char.chr proto);
+  Bytes.set_uint16_be b 10 length;
+  b

@@ -1,0 +1,55 @@
+(* Ethernet II framing. 14-byte header; the simulated FCS is handled by
+   the link layer when enabled, not here. *)
+
+type ethertype = Ipv4 | Arp | Unknown of int
+
+let ethertype_code = function Ipv4 -> 0x0800 | Arp -> 0x0806 | Unknown c -> c
+
+let ethertype_of_code = function 0x0800 -> Ipv4 | 0x0806 -> Arp | c -> Unknown c
+
+let pp_ethertype ppf = function
+  | Ipv4 -> Fmt.pf ppf "IPv4"
+  | Arp -> Fmt.pf ppf "ARP"
+  | Unknown c -> Fmt.pf ppf "0x%04x" c
+
+type t = { dst : Addr.mac; src : Addr.mac; ethertype : ethertype; payload : bytes }
+
+let header_len = 14
+let min_payload = 46  (* classic Ethernet minimum; we pad on build *)
+let max_payload = 1500
+
+let build { dst; src; ethertype; payload } =
+  let pay_len = max (Bytes.length payload) min_payload in
+  let b = Bytes.make (header_len + pay_len) '\000' in
+  for i = 0 to 5 do
+    Bytes.set b i (Char.chr (Addr.mac_octet dst i));
+    Bytes.set b (6 + i) (Char.chr (Addr.mac_octet src i))
+  done;
+  Bytes.set_uint16_be b 12 (ethertype_code ethertype);
+  Bytes.blit payload 0 b header_len (Bytes.length payload);
+  b
+
+let parse b =
+  if Bytes.length b < header_len then Error "ethernet: frame shorter than header"
+  else begin
+    let mac_at off =
+      Addr.mac_of_octets
+        (Char.code (Bytes.get b off))
+        (Char.code (Bytes.get b (off + 1)))
+        (Char.code (Bytes.get b (off + 2)))
+        (Char.code (Bytes.get b (off + 3)))
+        (Char.code (Bytes.get b (off + 4)))
+        (Char.code (Bytes.get b (off + 5)))
+    in
+    Ok
+      {
+        dst = mac_at 0;
+        src = mac_at 6;
+        ethertype = ethertype_of_code (Bytes.get_uint16_be b 12);
+        payload = Bytes.sub b header_len (Bytes.length b - header_len);
+      }
+  end
+
+let pp ppf t =
+  Fmt.pf ppf "eth %a -> %a %a (%d B payload)" Addr.pp_mac t.src Addr.pp_mac t.dst
+    pp_ethertype t.ethertype (Bytes.length t.payload)

@@ -1,0 +1,20 @@
+(** Ethernet II framing. *)
+
+type ethertype = Ipv4 | Arp | Unknown of int
+
+val ethertype_code : ethertype -> int
+val ethertype_of_code : int -> ethertype
+val pp_ethertype : Format.formatter -> ethertype -> unit
+
+type t = { dst : Addr.mac; src : Addr.mac; ethertype : ethertype; payload : bytes }
+
+val header_len : int
+val min_payload : int
+val max_payload : int
+
+val build : t -> bytes
+(** Serialise; payloads shorter than the Ethernet minimum are zero-padded,
+    so receivers must rely on the inner layer's length field. *)
+
+val parse : bytes -> (t, string) result
+val pp : Format.formatter -> t -> unit

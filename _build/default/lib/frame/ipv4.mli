@@ -1,0 +1,26 @@
+(** IPv4 header codec (no options, no fragmentation). *)
+
+type protocol = Tcp | Udp | Unknown of int
+
+val protocol_code : protocol -> int
+val protocol_of_code : int -> protocol
+val pp_protocol : Format.formatter -> protocol -> unit
+
+type t = {
+  src : Addr.ipv4;
+  dst : Addr.ipv4;
+  protocol : protocol;
+  ttl : int;
+  payload : bytes;
+}
+
+val header_len : int
+
+val build : t -> bytes
+(** Serialise with a correct header checksum and DF set. *)
+
+val parse : bytes -> (t, string) result
+(** Rejects bad versions, bad lengths, checksum mismatches and fragments.
+    Trailing link-layer padding beyond the total length is tolerated. *)
+
+val pp : Format.formatter -> t -> unit

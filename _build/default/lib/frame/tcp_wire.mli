@@ -1,0 +1,28 @@
+(** TCP segment codec (RFC 9293 wire format; MSS is the only option). *)
+
+type flags = { syn : bool; ack : bool; fin : bool; rst : bool; psh : bool }
+
+val flags_none : flags
+val pp_flags : Format.formatter -> flags -> unit
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int32;
+  ack : int32;
+  flags : flags;
+  window : int;
+  mss : int option;
+  payload : bytes;
+}
+
+(** Modular 32-bit sequence arithmetic. *)
+
+val seq_lt : int32 -> int32 -> bool
+val seq_leq : int32 -> int32 -> bool
+val seq_add : int32 -> int -> int32
+val seq_diff : int32 -> int32 -> int
+
+val build : src_ip:Addr.ipv4 -> dst_ip:Addr.ipv4 -> t -> bytes
+val parse : src_ip:Addr.ipv4 -> dst_ip:Addr.ipv4 -> bytes -> (t, string) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+(** UDP codec with pseudo-header checksums. *)
+
+type t = { src_port : int; dst_port : int; payload : bytes }
+
+val header_len : int
+
+val build : src_ip:Addr.ipv4 -> dst_ip:Addr.ipv4 -> t -> bytes
+val parse : src_ip:Addr.ipv4 -> dst_ip:Addr.ipv4 -> bytes -> (t, string) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/mem/pool.ml: Array Bitops Bytes Cio_util Cost List Printf Region

@@ -1,0 +1,1 @@
+lib/mem/region.ml: Array Bitops Bytes Char Cio_util Cost Fmt Int32 List String

@@ -1,0 +1,1 @@
+lib/mem/region.mli: Cio_util Cost Format

@@ -1,0 +1,148 @@
+(* Fixed-slot buffer pool over a region.
+
+   Two metadata policies capture the design choice the paper highlights via
+   snmalloc [40] and the "trusted component allocates" rule [34]:
+
+   - [Trusted]: the free list lives in guest-private OCaml state. The host
+     can corrupt buffer *contents* but never allocator behaviour.
+   - [Shared_unvalidated] / [Shared_masked]: the free list lives inside the
+     shared region itself (a classic legacy design). Unvalidated pops trust
+     a host-writable slot id; masked pops confine it with a power-of-two
+     mask, trading corruption for confinement, exactly the §3.2 "safe
+     shared data area" argument. *)
+
+open Cio_util
+
+type metadata = Trusted | Shared_unvalidated | Shared_masked
+
+type t = {
+  region : Region.t;
+  base : int;           (* first byte of slot 0 *)
+  slot_size : int;      (* power of two *)
+  slots : int;          (* power of two *)
+  metadata : metadata;
+  meta_off : int;       (* offset of shared free stack, if shared *)
+  mutable free : int list;  (* trusted policy only *)
+  mutable allocated : bool array;
+}
+
+(* Shared metadata layout: u16 count at [meta_off], then [slots] u16 slot
+   ids forming a stack. *)
+let meta_bytes slots = 2 + (2 * slots)
+
+let create ~region ~base ~slot_size ~slots ~metadata =
+  if not (Bitops.is_power_of_two slot_size) then
+    invalid_arg "Pool.create: slot_size must be a power of two";
+  if not (Bitops.is_power_of_two slots) then
+    invalid_arg "Pool.create: slots must be a power of two";
+  if base < 0 then invalid_arg "Pool.create: negative base";
+  let data_bytes = slot_size * slots in
+  let meta_off = base + data_bytes in
+  let total =
+    match metadata with
+    | Trusted -> data_bytes
+    | Shared_unvalidated | Shared_masked -> data_bytes + meta_bytes slots
+  in
+  if base + total > Region.size region then
+    invalid_arg "Pool.create: pool does not fit in region";
+  let t =
+    {
+      region;
+      base;
+      slot_size;
+      slots;
+      metadata;
+      meta_off;
+      free = List.init slots (fun i -> i);
+      allocated = Array.make slots false;
+    }
+  in
+  (match metadata with
+  | Trusted -> ()
+  | Shared_unvalidated | Shared_masked ->
+      (* Initialise the shared stack to hold every slot. *)
+      Region.write_u16 region Guest ~off:meta_off slots;
+      for i = 0 to slots - 1 do
+        Region.write_u16 region Guest ~off:(meta_off + 2 + (2 * i)) i
+      done);
+  t
+
+let slot_size t = t.slot_size
+let slot_count t = t.slots
+let base t = t.base
+let offset_of_slot t slot = t.base + (slot * t.slot_size)
+
+let slot_in_bounds t slot = slot >= 0 && slot < t.slots
+
+let mask_slot t slot = slot land (t.slots - 1)
+
+let charge_alloc t =
+  let model = Region.model t.region in
+  Cost.charge (Region.meter t.region) Cost.Alloc model.Cost.alloc
+
+exception Corrupted_metadata of string
+
+let alloc t =
+  charge_alloc t;
+  match t.metadata with
+  | Trusted -> (
+      match t.free with
+      | [] -> None
+      | slot :: rest ->
+          t.free <- rest;
+          t.allocated.(slot) <- true;
+          Some slot)
+  | Shared_unvalidated | Shared_masked -> (
+      let count = Region.read_u16 t.region Guest ~off:t.meta_off in
+      if count = 0 then None
+      else begin
+        (* A host lie about [count] is confined: reads beyond the stack
+           area would fault at the region level, so clamp instead of
+           trusting it. The slot id itself is the dangerous value. *)
+        let count = min count t.slots in
+        let top_off = t.meta_off + 2 + (2 * (count - 1)) in
+        let slot = Region.read_u16 t.region Guest ~off:top_off in
+        Region.write_u16 t.region Guest ~off:t.meta_off (count - 1);
+        match t.metadata with
+        | Shared_masked ->
+            let slot = mask_slot t slot in
+            t.allocated.(slot) <- true;
+            Some slot
+        | Shared_unvalidated ->
+            if not (slot_in_bounds t slot) then
+              raise
+                (Corrupted_metadata
+                   (Printf.sprintf "free-stack slot id %d out of [0,%d)" slot t.slots));
+            t.allocated.(slot) <- true;
+            Some slot
+        | Trusted -> assert false
+      end)
+
+let free t slot =
+  if not (slot_in_bounds t slot) then invalid_arg "Pool.free: bad slot";
+  if not t.allocated.(slot) then invalid_arg "Pool.free: slot not allocated";
+  charge_alloc t;
+  t.allocated.(slot) <- false;
+  match t.metadata with
+  | Trusted -> t.free <- slot :: t.free
+  | Shared_unvalidated | Shared_masked ->
+      let count = Region.read_u16 t.region Guest ~off:t.meta_off in
+      let count = min count (t.slots - 1) in
+      Region.write_u16 t.region Guest ~off:(t.meta_off + 2 + (2 * count)) slot;
+      Region.write_u16 t.region Guest ~off:t.meta_off (count + 1)
+
+let is_allocated t slot = slot_in_bounds t slot && t.allocated.(slot)
+
+let allocated_count t =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.allocated
+
+let write_slot t slot payload =
+  if not (slot_in_bounds t slot) then invalid_arg "Pool.write_slot: bad slot";
+  if Bytes.length payload > t.slot_size then
+    invalid_arg "Pool.write_slot: payload larger than slot";
+  Region.guest_write t.region ~off:(offset_of_slot t slot) payload
+
+let read_slot t slot ~len =
+  if not (slot_in_bounds t slot) then invalid_arg "Pool.read_slot: bad slot";
+  if len > t.slot_size then invalid_arg "Pool.read_slot: len larger than slot";
+  Region.guest_read t.region ~off:(offset_of_slot t slot) ~len

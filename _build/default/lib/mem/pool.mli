@@ -1,0 +1,38 @@
+(** Fixed-slot buffer pool over a {!Region.t}, with selectable metadata
+    trust policy (the §3.2 shared-allocator design axis). *)
+
+type metadata =
+  | Trusted  (** free list in guest-private state ("trusted component allocates") *)
+  | Shared_unvalidated  (** free list in shared memory, slot ids trusted *)
+  | Shared_masked  (** free list in shared memory, slot ids mask-confined *)
+
+type t
+
+exception Corrupted_metadata of string
+(** Raised by [alloc] under [Shared_unvalidated] when the host planted an
+    out-of-range slot id. *)
+
+val create :
+  region:Region.t -> base:int -> slot_size:int -> slots:int -> metadata:metadata -> t
+(** Both [slot_size] and [slots] must be powers of two. Shared policies
+    place their free stack immediately after the slot array. *)
+
+val slot_size : t -> int
+val slot_count : t -> int
+val base : t -> int
+
+val offset_of_slot : t -> int -> int
+val slot_in_bounds : t -> int -> bool
+
+val mask_slot : t -> int -> int
+(** Confine an untrusted slot id with the power-of-two mask. *)
+
+val alloc : t -> int option
+(** Pop a free slot; [None] when exhausted. Charges allocator cost. *)
+
+val free : t -> int -> unit
+val is_allocated : t -> int -> bool
+val allocated_count : t -> int
+
+val write_slot : t -> int -> bytes -> unit
+val read_slot : t -> int -> len:int -> bytes

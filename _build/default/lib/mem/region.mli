@@ -1,0 +1,111 @@
+(** Simulated TEE memory: byte regions with per-page protection, access
+    logging, page sharing/revocation, and double-fetch transactions.
+
+    Stands in for SEV/TDX/SGX memory protection (DESIGN.md §1): [Private]
+    pages fault on host access; [Shared] pages model bounce/ring memory. *)
+
+open Cio_util
+
+type actor = Guest | Host
+
+val actor_name : actor -> string
+
+type prot = Private | Shared
+
+type fault =
+  | Host_access_private of { off : int; len : int; write : bool }
+  | Out_of_bounds of { actor : actor; off : int; len : int; write : bool }
+
+val pp_fault : Format.formatter -> fault -> unit
+
+exception Fault of fault
+
+type event =
+  | Read of { actor : actor; off : int; len : int }
+  | Write of { actor : actor; off : int; len : int }
+  | Share_page of int
+  | Unshare_page of int
+
+type t
+
+val create :
+  ?page_size:int ->
+  ?prot:prot ->
+  ?model:Cost.model ->
+  ?meter:Cost.meter ->
+  name:string ->
+  int ->
+  t
+(** [create ~name size] makes a zeroed region. [prot] is the initial
+    protection of every page (default [Shared]). An optional [meter]
+    shares cycle accounting with the caller. *)
+
+val name : t -> string
+val size : t -> int
+val page_size : t -> int
+val page_count : t -> int
+val meter : t -> Cost.meter
+val model : t -> Cost.model
+
+val set_logging : t -> bool -> unit
+val clear_log : t -> unit
+
+val events : t -> event list
+(** Oldest first. *)
+
+val page_of : t -> int -> int
+val prot_of_page : t -> int -> prot
+
+val range_shared : t -> int -> int -> bool
+(** True iff every page the range touches is shared. *)
+
+(** {1 Access} — each raises {!Fault} on a protection or bounds violation. *)
+
+val guest_read : t -> off:int -> len:int -> bytes
+val guest_write : t -> off:int -> bytes -> unit
+val host_read : t -> off:int -> len:int -> bytes
+val host_write : t -> off:int -> bytes -> unit
+
+val read_u8 : t -> actor -> off:int -> int
+val read_u16 : t -> actor -> off:int -> int
+val read_u32 : t -> actor -> off:int -> int
+val read_u64 : t -> actor -> off:int -> int64
+val write_u8 : t -> actor -> off:int -> int -> unit
+val write_u16 : t -> actor -> off:int -> int -> unit
+val write_u32 : t -> actor -> off:int -> int -> unit
+val write_u64 : t -> actor -> off:int -> int64 -> unit
+
+(** {1 Sharing and revocation} *)
+
+val share_page : t -> int -> unit
+val unshare_page : t -> int -> unit
+val share_range : t -> off:int -> len:int -> unit
+val unshare_range : t -> off:int -> len:int -> unit
+
+(** {1 Metered copies} *)
+
+val copy_in : t -> off:int -> len:int -> bytes
+(** Guest pull of shared bytes into private memory; charges [Copy]. *)
+
+val copy_out : t -> off:int -> bytes -> unit
+(** Guest publish of private bytes; charges [Copy]. *)
+
+(** {1 Double-fetch transactions} *)
+
+type hazard = { off : int; len : int; mutated : bool }
+
+val begin_txn : t -> unit
+
+val end_txn : t -> hazard list
+(** Shared ranges the guest read more than once inside the bracket;
+    [mutated] marks reads whose bytes changed in between (a host race). *)
+
+val with_txn : t -> (unit -> 'a) -> 'a * hazard list
+
+val set_host_write_hook : t -> (off:int -> len:int -> unit) option -> unit
+(** Install an adversary callback fired after every host write (used by
+    the attack harness to interleave mutations deterministically). *)
+
+val set_guest_read_hook : t -> (off:int -> len:int -> unit) option -> unit
+(** Install an adversary callback fired after every guest read of shared
+    memory: models a host core racing the guest between two fetches. *)

@@ -1,0 +1,1 @@
+lib/netsim/adversary.ml: Array Bytes Char Cio_util Link List Rng

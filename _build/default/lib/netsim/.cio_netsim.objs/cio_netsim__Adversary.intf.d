@@ -1,0 +1,1 @@
+lib/netsim/adversary.mli: Cio_util Link Rng

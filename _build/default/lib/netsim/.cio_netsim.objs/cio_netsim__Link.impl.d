@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Bytes Engine Int64 List

@@ -1,0 +1,1 @@
+lib/netsim/switch.ml: Array Bytes Char Engine Hashtbl Queue

@@ -1,0 +1,1 @@
+lib/netsim/switch.mli: Engine

@@ -1,0 +1,109 @@
+(* Discrete-event simulation core.
+
+   A single virtual clock (nanoseconds) and a binary-heap agenda. Ties are
+   broken by insertion order so runs are fully deterministic. All network
+   latency/bandwidth behaviour in the reproduction is expressed as events
+   on this engine. *)
+
+type event = { time : int64; seq : int; action : unit -> unit }
+
+type t = {
+  mutable now : int64;
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable stopped : bool;
+}
+
+let create () = { now = 0L; heap = Array.make 64 { time = 0L; seq = 0; action = ignore }; size = 0; next_seq = 0; stopped = false }
+
+let now t = t.now
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) t.heap.(0) in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let schedule_at t ~time action =
+  if time < t.now then invalid_arg "Engine.schedule_at: time in the past";
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- { time; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let schedule t ~after action = schedule_at t ~time:(Int64.add t.now after) action
+
+let pending t = t.size
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let step t =
+  match pop t with
+  | None -> false
+  | Some ev ->
+      t.now <- ev.time;
+      ev.action ();
+      true
+
+let stop t = t.stopped <- true
+
+let peek t = if t.size = 0 then None else Some t.heap.(0)
+
+let run ?until t =
+  t.stopped <- false;
+  let in_horizon ev = match until with None -> true | Some h -> ev.time <= h in
+  let rec loop () =
+    if t.stopped then ()
+    else begin
+      match peek t with
+      | None -> (match until with None -> () | Some h -> t.now <- max t.now h)
+      | Some ev ->
+          if in_horizon ev then begin
+            ignore (pop t);
+            t.now <- ev.time;
+            ev.action ();
+            loop ()
+          end
+          else t.now <- (match until with Some h -> max t.now h | None -> t.now)
+    end
+  in
+  loop ()
+
+let advance t ~by = run ~until:(Int64.add t.now by) t

@@ -1,0 +1,28 @@
+(** Deterministic discrete-event engine with a nanosecond virtual clock.
+
+    Ties at equal timestamps run in scheduling order. *)
+
+type t
+
+val create : unit -> t
+val now : t -> int64
+
+val schedule_at : t -> time:int64 -> (unit -> unit) -> unit
+(** Raises [Invalid_argument] when [time] is in the past. *)
+
+val schedule : t -> after:int64 -> (unit -> unit) -> unit
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val step : t -> bool
+(** Run the earliest event; [false] when the agenda is empty. *)
+
+val run : ?until:int64 -> t -> unit
+(** Drain the agenda, or run events up to and including [until] and set
+    the clock to [until]. *)
+
+val advance : t -> by:int64 -> unit
+
+val stop : t -> unit
+(** Abort the current [run] after the in-flight event returns. *)

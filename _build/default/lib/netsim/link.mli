@@ -1,0 +1,31 @@
+(** Duplex link with latency, bandwidth (FIFO serialization) and optional
+    tamper/tap hooks per direction. *)
+
+type endpoint = A | B
+
+val peer : endpoint -> endpoint
+val endpoint_name : endpoint -> string
+
+type delivery = { extra_delay_ns : int64; frame : bytes }
+
+type tamper = bytes -> delivery list
+(** Maps one in-flight frame to the frames actually delivered: [[]] drops,
+    several entries duplicate or inject. *)
+
+type t
+
+val create : ?latency_ns:int64 -> ?gbps:float -> Engine.t -> t
+val attach : t -> endpoint -> (bytes -> unit) -> unit
+
+val set_tamper : t -> src:endpoint -> tamper option -> unit
+(** Install/remove the adversary on the [src]→peer direction. *)
+
+val set_transit_tap : t -> (time:int64 -> src:endpoint -> bytes -> unit) option -> unit
+(** Metadata tap fired for every frame entering the link. *)
+
+val frames_sent : t -> src:endpoint -> int
+val bytes_sent : t -> src:endpoint -> int
+
+val send : t -> src:endpoint -> bytes -> unit
+(** Queue a frame; it arrives at the peer after serialization + latency
+    (+ tampering). *)

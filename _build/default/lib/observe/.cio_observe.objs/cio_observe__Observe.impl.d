@@ -1,0 +1,1 @@
+lib/observe/observe.ml: Cio_util Fmt Hashtbl Int64 List Option

@@ -1,0 +1,1 @@
+lib/observe/observe.mli: Format

@@ -1,0 +1,1 @@
+lib/storage/block_wire.ml: Bytes Char Int32

@@ -1,0 +1,1 @@
+lib/storage/blockdev.ml: Block_wire Bytes Char Cio_cionet Cio_mem Cio_util Config Cost Int32 List Region Ring

@@ -1,0 +1,1 @@
+lib/storage/blockdev.mli: Block_wire Cio_util Cost

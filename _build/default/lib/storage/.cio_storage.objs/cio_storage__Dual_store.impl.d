@@ -1,0 +1,1 @@
+lib/storage/dual_store.ml: Aead Blockdev Bytes Cio_compartment Cio_crypto Cio_util Compartment Cost File Hashtbl Int32 Option Printf Sha256

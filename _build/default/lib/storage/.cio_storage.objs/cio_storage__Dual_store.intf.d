@@ -1,0 +1,1 @@
+lib/storage/dual_store.mli: Blockdev Cio_compartment Cio_util Compartment Cost File

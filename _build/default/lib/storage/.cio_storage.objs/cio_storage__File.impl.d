@@ -1,0 +1,1 @@
+lib/storage/file.ml: Aead Array Blockdev Buffer Bytes Cio_crypto Cio_util Int32 List

@@ -1,0 +1,1 @@
+lib/storage/file.mli: Blockdev Cio_util

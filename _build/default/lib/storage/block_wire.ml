@@ -1,0 +1,65 @@
+(* Block I/O wire format carried over the safe ring (§3.3: the same
+   dual-boundary treatment applied to storage; the low-level boundary is
+   the block layer, the high-level one is file operations).
+
+   Request:  { op:u8, lba:u32, len:u32, payload }
+   Response: { status:u8, lba:u32, len:u32, payload }
+
+   Fixed-size headers, no negotiation, stateless request/response pairs
+   matched by lba — the L2 principles transposed to storage. *)
+
+type op = Read | Write
+
+let op_code = function Read -> 1 | Write -> 2
+let op_of_code = function 1 -> Some Read | 2 -> Some Write | _ -> None
+
+type status = Ok_ | Error_
+
+let status_code = function Ok_ -> 0 | Error_ -> 1
+let status_of_code = function 0 -> Some Ok_ | 1 -> Some Error_ | _ -> None
+
+let header_len = 9
+
+type request = { op : op; lba : int; payload : bytes }
+
+type response = { status : status; rlba : int; rpayload : bytes }
+
+let encode_request { op; lba; payload } =
+  let b = Bytes.create (header_len + Bytes.length payload) in
+  Bytes.set b 0 (Char.chr (op_code op));
+  Bytes.set_int32_le b 1 (Int32.of_int lba);
+  Bytes.set_int32_le b 5 (Int32.of_int (Bytes.length payload));
+  Bytes.blit payload 0 b header_len (Bytes.length payload);
+  b
+
+let decode_request b =
+  if Bytes.length b < header_len then None
+  else begin
+    match op_of_code (Char.code (Bytes.get b 0)) with
+    | None -> None
+    | Some op ->
+        let lba = Int32.to_int (Bytes.get_int32_le b 1) in
+        let len = Int32.to_int (Bytes.get_int32_le b 5) in
+        if lba < 0 || len < 0 || header_len + len > Bytes.length b then None
+        else Some { op; lba; payload = Bytes.sub b header_len len }
+  end
+
+let encode_response { status; rlba; rpayload } =
+  let b = Bytes.create (header_len + Bytes.length rpayload) in
+  Bytes.set b 0 (Char.chr (status_code status));
+  Bytes.set_int32_le b 1 (Int32.of_int rlba);
+  Bytes.set_int32_le b 5 (Int32.of_int (Bytes.length rpayload));
+  Bytes.blit rpayload 0 b header_len (Bytes.length rpayload);
+  b
+
+let decode_response b =
+  if Bytes.length b < header_len then None
+  else begin
+    match status_of_code (Char.code (Bytes.get b 0)) with
+    | None -> None
+    | Some status ->
+        let rlba = Int32.to_int (Bytes.get_int32_le b 1) in
+        let len = Int32.to_int (Bytes.get_int32_le b 5) in
+        if rlba < 0 || len < 0 || header_len + len > Bytes.length b then None
+        else Some { status; rlba; rpayload = Bytes.sub b header_len len }
+  end

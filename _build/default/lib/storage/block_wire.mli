@@ -1,0 +1,21 @@
+(** Stateless block-I/O wire format for the safe-ring storage boundary. *)
+
+type op = Read | Write
+
+val op_code : op -> int
+val op_of_code : int -> op option
+
+type status = Ok_ | Error_
+
+val status_code : status -> int
+val status_of_code : int -> status option
+
+val header_len : int
+
+type request = { op : op; lba : int; payload : bytes }
+type response = { status : status; rlba : int; rpayload : bytes }
+
+val encode_request : request -> bytes
+val decode_request : bytes -> request option
+val encode_response : response -> bytes
+val decode_response : bytes -> response option

@@ -1,0 +1,208 @@
+(* Block device over the safe ring: the storage instantiation of the
+   paper's L2 boundary. The guest submits stateless requests; the host
+   disk model answers with responses on the opposite ring. Host
+   misbehaviour knobs mirror the network device's so the E9 attack rows
+   line up with E4's. *)
+
+open Cio_util
+open Cio_mem
+open Cio_cionet
+
+let block_size = 4096
+
+type misbehavior =
+  | Corrupt_block        (* flip bits in the next read response *)
+  | Lie_response_len     (* claim a huge response length *)
+  | Wrong_lba            (* answer for a different block *)
+  | Replay_response      (* deliver the previous response again *)
+
+(* --- host side: the disk model --------------------------------------- *)
+
+type disk = {
+  data : bytes;              (* the host's backing store *)
+  blocks : int;
+  req_ring : Ring.t;         (* guest produces, host consumes *)
+  resp_ring : Ring.t;        (* host produces, guest consumes *)
+  mutable misbehaviors : misbehavior list;
+  mutable last_response : bytes option;
+  mutable reads : int;
+  mutable writes : int;
+  mutable malformed : int;
+  mutable access_log : (Block_wire.op * int) list;
+      (* newest first: everything a passive host learns even when the
+         contents are sealed — the storage observability channel (E18) *)
+}
+
+(* --- guest side: the block client ------------------------------------ *)
+
+type t = {
+  region : Region.t;
+  client_req : Ring.t;
+  client_resp : Ring.t;
+  disk : disk;
+  meter : Cost.meter;
+  mutable outstanding : int;
+}
+
+let positioning = Config.Inline { data_capacity = 8192 }
+
+let create ?(model = Cost.default) ?meter ~name ~blocks () =
+  let host_meter = Cost.meter () in
+  let page = 4096 in
+  let lay = Ring.layout ~page_size:page ~slots:16 positioning in
+  let req_base = page in
+  let resp_base = Cio_util.Bitops.align_up (req_base + lay.Ring.total) ~align:page in
+  let total = Cio_util.Bitops.align_up (resp_base + lay.Ring.total) ~align:page in
+  let region = Region.create ?meter ~model ~page_size:page ~prot:Region.Shared ~name total in
+  let req_ring =
+    Ring.create ~region ~base:req_base ~slots:16 ~positioning ~producer:Region.Guest ~host_meter
+  in
+  let resp_ring =
+    Ring.create ~region ~base:resp_base ~slots:16 ~positioning ~producer:Region.Host ~host_meter
+  in
+  let disk =
+    {
+      data = Bytes.make (blocks * block_size) '\000';
+      blocks;
+      req_ring;
+      resp_ring;
+      misbehaviors = [];
+      last_response = None;
+      reads = 0;
+      writes = 0;
+      malformed = 0;
+      access_log = [];
+    }
+  in
+  ({ region; client_req = req_ring; client_resp = resp_ring; disk; meter = Region.meter region; outstanding = 0 }, disk)
+
+let disk_inject disk m = disk.misbehaviors <- disk.misbehaviors @ [ m ]
+
+let take disk pred =
+  let rec go acc = function
+    | [] -> None
+    | m :: rest when pred m ->
+        disk.misbehaviors <- List.rev_append acc rest;
+        Some m
+    | m :: rest -> go (m :: acc) rest
+  in
+  go [] disk.misbehaviors
+
+let disk_reads d = d.reads
+let disk_writes d = d.writes
+let disk_access_log d = List.rev d.access_log
+let disk_clear_log d = d.access_log <- []
+
+(* Run the host disk: consume requests, produce responses. *)
+let disk_poll disk =
+  let rec go () =
+    match Ring.try_consume disk.req_ring with
+    | None -> ()
+    | Some raw -> (
+        match Block_wire.decode_request raw with
+        | None -> disk.malformed <- disk.malformed + 1
+        | Some req ->
+            let lba = req.Block_wire.lba in
+            disk.access_log <- (req.Block_wire.op, lba) :: disk.access_log;
+            let resp =
+              if lba < 0 || lba >= disk.blocks then
+                { Block_wire.status = Block_wire.Error_; rlba = lba; rpayload = Bytes.empty }
+              else begin
+                match req.Block_wire.op with
+                | Block_wire.Read ->
+                    disk.reads <- disk.reads + 1;
+                    (* Wrong_lba: serve a *different* block's content while
+                       claiming it is the requested one. *)
+                    let src_lba =
+                      match take disk (function Wrong_lba -> true | _ -> false) with
+                      | Some Wrong_lba -> (lba + 1) mod disk.blocks
+                      | _ -> lba
+                    in
+                    let payload = Bytes.sub disk.data (src_lba * block_size) block_size in
+                    let payload =
+                      match take disk (function Corrupt_block -> true | _ -> false) with
+                      | Some Corrupt_block ->
+                          (* Flip a mid-payload byte: real bit rot / malice
+                             lands in data, not padding. *)
+                          let i = 64 in
+                          Bytes.set payload i (Char.chr (Char.code (Bytes.get payload i) lxor 0xFF));
+                          payload
+                      | _ -> payload
+                    in
+                    { Block_wire.status = Block_wire.Ok_; rlba = lba; rpayload = payload }
+                | Block_wire.Write ->
+                    disk.writes <- disk.writes + 1;
+                    let len = min (Bytes.length req.Block_wire.payload) block_size in
+                    Bytes.blit req.Block_wire.payload 0 disk.data (lba * block_size) len;
+                    { Block_wire.status = Block_wire.Ok_; rlba = lba; rpayload = Bytes.empty }
+              end
+            in
+            let encoded = Block_wire.encode_response resp in
+            let encoded =
+              match take disk (function Lie_response_len -> true | _ -> false) with
+              | Some Lie_response_len ->
+                  (* Corrupt the embedded length field upward. *)
+                  let e = Bytes.copy encoded in
+                  Bytes.set_int32_le e 5 (Int32.of_int 1_000_000);
+                  e
+              | _ -> encoded
+            in
+            ignore (Ring.try_produce disk.resp_ring encoded);
+            disk.last_response <- Some encoded;
+            (match take disk (function Replay_response -> true | _ -> false) with
+            | Some Replay_response -> (
+                match disk.last_response with
+                | Some prev -> ignore (Ring.try_produce disk.resp_ring prev)
+                | None -> ())
+            | _ -> ());
+            go ())
+  in
+  go ()
+
+(* Guest-side API: synchronous convenience that drives the host inline
+   (the storage experiments do not need the network engine). *)
+
+type result = Data of bytes | Write_ok | Failed of string
+
+let submit t req =
+  Cost.charge t.meter Cost.Ring 0;
+  Ring.try_produce t.client_req (Block_wire.encode_request req)
+
+let poll_response t =
+  match Ring.try_consume t.client_resp with
+  | None -> None
+  | Some raw -> (
+      match Block_wire.decode_response raw with
+      | None -> Some (Failed "malformed response")
+      | Some r ->
+          if r.Block_wire.status <> Block_wire.Ok_ then Some (Failed "device error")
+          else begin
+            match Bytes.length r.Block_wire.rpayload with
+            | 0 -> Some Write_ok
+            | _ -> Some (Data r.Block_wire.rpayload)
+          end)
+
+let read_block t ~lba =
+  if not (submit t { Block_wire.op = Block_wire.Read; lba; payload = Bytes.empty }) then
+    Failed "request ring full"
+  else begin
+    disk_poll t.disk;
+    match poll_response t with
+    | Some r -> r
+    | None -> Failed "no response"
+  end
+
+let write_block t ~lba payload =
+  if Bytes.length payload > block_size then Failed "payload larger than block"
+  else if not (submit t { Block_wire.op = Block_wire.Write; lba; payload }) then
+    Failed "request ring full"
+  else begin
+    disk_poll t.disk;
+    match poll_response t with
+    | Some r -> r
+    | None -> Failed "no response"
+  end
+
+let meter t = t.meter
+let disk t = t.disk
+let blocks t = t.disk.blocks

@@ -1,0 +1,40 @@
+(** Block device over the safe ring (§3.3 low-level storage boundary),
+    with a host disk model carrying the same misbehaviour classes as the
+    network devices. *)
+
+open Cio_util
+
+val block_size : int
+
+type misbehavior = Corrupt_block | Lie_response_len | Wrong_lba | Replay_response
+
+type disk
+type t
+
+val create :
+  ?model:Cost.model -> ?meter:Cost.meter -> name:string -> blocks:int -> unit -> t * disk
+
+val disk_inject : disk -> misbehavior -> unit
+val disk_poll : disk -> unit
+val disk_reads : disk -> int
+val disk_writes : disk -> int
+
+val disk_access_log : disk -> (Block_wire.op * int) list
+(** (op, lba) per request, oldest first: the access-pattern side channel a
+    passive host keeps even when block contents are sealed. *)
+
+val disk_clear_log : disk -> unit
+
+type result = Data of bytes | Write_ok | Failed of string
+
+val submit : t -> Block_wire.request -> bool
+val poll_response : t -> result option
+
+val read_block : t -> lba:int -> result
+(** Synchronous convenience: submits, runs the disk, returns the reply. *)
+
+val write_block : t -> lba:int -> bytes -> result
+
+val meter : t -> Cost.meter
+val disk : t -> disk
+val blocks : t -> int

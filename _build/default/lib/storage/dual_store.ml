@@ -1,0 +1,116 @@
+(* The complete §3.3 ternary model for storage.
+
+   Mirrors the network design one-to-one:
+
+     app domain        seals whole files (AEAD bound to name + version
+                       kept in app-private state) — the high boundary;
+     storage domain    the *quarantined* file layer + block client: it
+                       only ever handles ciphertext, and reaching it costs
+                       a compartment gate per operation — the analogue of
+                       the quarantined network stack;
+     host              the disk behind the safe ring — the low boundary.
+
+   Consequences (tested and measured in E9/E18):
+   - a hostile disk or a fully compromised file layer can deny service or
+     reorder the world, but any wrong bytes fail authentication in the
+     app domain;
+   - what the lower layers retain is *observability*: which (encrypted)
+     file is touched, when, and how big it is — the storage twin of the
+     network design's network-level metadata. *)
+
+open Cio_util
+open Cio_crypto
+open Cio_compartment
+
+type t = {
+  world : Compartment.t;
+  app : Compartment.domain;
+  store : Compartment.domain;
+  fs : File.t;
+  key : bytes;
+  versions : (string, int) Hashtbl.t;  (* app-private: anti-rollback *)
+  meter : Cost.meter;
+}
+
+type error = Store_error of File.error | Integrity of string
+
+let error_to_string = function
+  | Store_error e -> "store: " ^ File.error_to_string e
+  | Integrity s -> "integrity: " ^ s
+
+let create ?(crossing = Compartment.Gate) ~dev ~key () =
+  if Bytes.length key <> Aead.key_len then invalid_arg "Dual_store.create: bad key size";
+  let meter = Blockdev.meter dev in
+  let world = Compartment.create ~meter ~crossing () in
+  let app = Compartment.add_domain world ~name:"app" in
+  let store = Compartment.add_domain world ~name:"storage-stack" in
+  (* The quarantined file layer runs in Plain mode: it only ever sees
+     ciphertext that the app sealed above it. *)
+  let fs = File.create ~dev ~mode:File.Plain in
+  { world; app; store; fs; key; versions = Hashtbl.create 16; meter }
+
+let world t = t.world
+let app_domain t = t.app
+let store_domain t = t.store
+let meter t = t.meter
+let crossings t = (Compartment.counters t.world).Compartment.crossings
+
+let enter_store t f = Compartment.call t.world ~caller:t.app ~callee:t.store f
+
+let aad ~name ~version =
+  let b = Bytes.of_string (Printf.sprintf "%s#%d" name version) in
+  b
+
+let nonce_of ~name ~version =
+  let h = Sha256.digest_string name in
+  let n = Bytes.sub h 0 Aead.nonce_len in
+  Bytes.set_int32_le n 0 (Int32.of_int version);
+  n
+
+let charge_crypto t nbytes = Cost.charge t.meter Cost.Crypto (Cost.aead_cost Cost.default nbytes)
+
+let write_file t ~name content =
+  (* Seal in the app domain: name + fresh version bound into the AAD. *)
+  let version = 1 + Option.value ~default:0 (Hashtbl.find_opt t.versions name) in
+  charge_crypto t (Bytes.length content);
+  let sealed =
+    Aead.seal ~key:t.key ~nonce:(nonce_of ~name ~version) ~aad:(aad ~name ~version) content
+  in
+  match enter_store t (fun () -> File.write_file t.fs ~name sealed) with
+  | Ok () ->
+      Hashtbl.replace t.versions name version;
+      Ok ()
+  | Error e -> Error (Store_error e)
+
+let read_file t ~name =
+  match Hashtbl.find_opt t.versions name with
+  | None -> Error (Store_error File.Not_found_)
+  | Some version -> (
+      match enter_store t (fun () -> File.read_file t.fs ~name) with
+      | Error e -> Error (Store_error e)
+      | Ok sealed -> (
+          charge_crypto t (Bytes.length sealed);
+          (* Unseal in the app domain against app-private name+version:
+             wrong file, stale version or corrupt bytes all land here. *)
+          match Aead.open_ ~key:t.key ~nonce:(nonce_of ~name ~version) ~aad:(aad ~name ~version) sealed with
+          | Some content -> Ok content
+          | None -> Error (Integrity "file failed authentication (corrupt/swapped/rolled back)")))
+
+let delete t ~name =
+  match enter_store t (fun () -> File.delete t.fs name) with
+  | Ok () ->
+      Hashtbl.remove t.versions name;
+      Ok ()
+  | Error e -> Error (Store_error e)
+
+let list_files t = enter_store t (fun () -> File.list_files t.fs)
+
+(* What a fully compromised storage domain can and cannot do: it cannot
+   touch app memory (compartment), and anything it fabricates fails the
+   app-side unseal — the multi-stage property, storage edition. *)
+let rogue_store_reads_app_memory t =
+  let secret = Compartment.alloc t.world ~owner:t.app 64 in
+  Compartment.write t.world ~as_:t.app secret ~pos:0 (Bytes.of_string "app-secret");
+  match Compartment.read t.world ~as_:t.store secret ~pos:0 ~len:10 with
+  | _ -> `Leaked
+  | exception Compartment.Access_violation _ -> `Denied

@@ -1,0 +1,1 @@
+lib/tcb/tcb.ml: Array Filename Fmt List String Sys

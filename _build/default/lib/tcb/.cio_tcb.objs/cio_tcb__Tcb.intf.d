@@ -1,0 +1,1 @@
+lib/tcb/tcb.mli: Format

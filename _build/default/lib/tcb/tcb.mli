@@ -1,0 +1,21 @@
+(** TCB accounting (Figure 5 / E6): per-component LoC counted from this
+    repository's own sources, composed into per-configuration core TCBs. *)
+
+val set_repo_root : string -> unit
+(** Directory containing [lib/]; defaults to ["."]. *)
+
+val loc : string -> int
+(** Lines of OCaml in a named component; raises on unknown names. *)
+
+type profile = { config : string; core : string list; quarantined : string list }
+
+val profiles : profile list
+val profile : string -> profile
+
+val core_loc : string -> int
+(** LoC whose compromise exposes application data. *)
+
+val quarantined_loc : string -> int
+(** LoC isolated behind the intra-TEE L5 boundary (dual design only). *)
+
+val pp_profile : Format.formatter -> string -> unit

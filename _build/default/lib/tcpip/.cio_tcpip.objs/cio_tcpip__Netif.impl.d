@@ -1,0 +1,1 @@
+lib/tcpip/netif.ml: Addr Bytes Cio_frame Queue

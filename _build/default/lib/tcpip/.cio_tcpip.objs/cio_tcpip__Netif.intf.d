@@ -1,0 +1,1 @@
+lib/tcpip/netif.mli: Addr Cio_frame

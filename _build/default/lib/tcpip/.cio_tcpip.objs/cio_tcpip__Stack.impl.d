@@ -1,0 +1,1 @@
+lib/tcpip/stack.ml: Addr Cio_frame Cio_util Cost Ethernet Ipv4 Lazy List Logs Netif Queue Tcp Tcp_wire Udp

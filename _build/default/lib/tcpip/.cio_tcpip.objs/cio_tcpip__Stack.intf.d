@@ -1,0 +1,1 @@
+lib/tcpip/stack.mli: Addr Cio_frame Cio_util Cost Netif Rng Tcp

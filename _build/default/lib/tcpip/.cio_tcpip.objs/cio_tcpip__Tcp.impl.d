@@ -1,0 +1,1 @@
+lib/tcpip/tcp.ml: Addr Buffer Bytes Cio_frame Cio_util Cost Int64 List Logs Rng Tcp_wire

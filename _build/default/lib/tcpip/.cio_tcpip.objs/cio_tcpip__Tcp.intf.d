@@ -1,0 +1,1 @@
+lib/tcpip/tcp.mli: Addr Cio_frame Cio_util Cost Rng Tcp_wire

@@ -1,0 +1,165 @@
+(* IP stack facade: binds a polling netif to the TCP and UDP layers.
+
+   Address resolution is a static neighbour table fixed at construction —
+   the §3.2 zero-negotiation principle applied to the stack itself (no ARP
+   state machine, no renegotiation, parameters fixed at deployment). *)
+
+open Cio_util
+open Cio_frame
+
+let src = Logs.Src.create "cio.stack" ~doc:"IP stack"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type udp_socket = {
+  uport : int;
+  rxq : (Addr.ipv4 * int * bytes) Queue.t;
+}
+
+type counters = {
+  mutable frames_in : int;
+  mutable frames_out : int;
+  mutable dropped : int;
+  mutable last_drop_reason : string;
+}
+
+type t = {
+  netif : Netif.t;
+  ip : Addr.ipv4;
+  ttl : int;
+  neighbors : (Addr.ipv4 * Addr.mac) list;
+  tcp : Tcp.t;
+  mutable udp_socks : udp_socket list;
+  meter : Cost.meter;
+  model : Cost.model;
+  now : unit -> int64;
+  counters : counters;
+}
+
+let mac_for t dst =
+  match List.assoc_opt dst t.neighbors with
+  | Some mac -> Some mac
+  | None -> None
+
+let create ?(ttl = 64) ?(model = Cost.default) ?meter ~netif ~ip ~neighbors ~now ~rng () =
+  let meter = match meter with Some m -> m | None -> Cost.meter () in
+  let rec t =
+    lazy
+      {
+        netif;
+        ip;
+        ttl;
+        neighbors;
+        tcp =
+          Tcp.create ~model ~meter ~local_ip:ip
+            ~send_segment:(fun ~dst payload -> send_proto (Lazy.force t) Ipv4.Tcp ~dst payload)
+            ~now ~rng ();
+        udp_socks = [];
+        meter;
+        model;
+        now;
+        counters = { frames_in = 0; frames_out = 0; dropped = 0; last_drop_reason = "" };
+      }
+  and send_proto t proto ~dst payload =
+    match mac_for t dst with
+    | None ->
+        t.counters.dropped <- t.counters.dropped + 1;
+        t.counters.last_drop_reason <- "no neighbour entry"
+    | Some dst_mac ->
+        let ip_packet = Ipv4.build { Ipv4.src = t.ip; dst; protocol = proto; ttl = t.ttl; payload } in
+        let frame =
+          Ethernet.build
+            { Ethernet.dst = dst_mac; src = t.netif.Netif.mac; ethertype = Ethernet.Ipv4; payload = ip_packet }
+        in
+        t.counters.frames_out <- t.counters.frames_out + 1;
+        Cost.charge t.meter Cost.Stack 150;
+        t.netif.Netif.transmit frame
+  in
+  Lazy.force t
+
+let tcp t = t.tcp
+let ip t = t.ip
+let counters t = t.counters
+let meter t = t.meter
+
+let send_udp t ~src_port ~dst ~dst_port payload =
+  match mac_for t dst with
+  | None ->
+      t.counters.dropped <- t.counters.dropped + 1;
+      t.counters.last_drop_reason <- "no neighbour entry"
+  | Some dst_mac ->
+      let udp = Udp.build ~src_ip:t.ip ~dst_ip:dst { Udp.src_port; dst_port; payload } in
+      let ip_packet = Ipv4.build { Ipv4.src = t.ip; dst; protocol = Ipv4.Udp; ttl = t.ttl; payload = udp } in
+      let frame =
+        Ethernet.build
+          { Ethernet.dst = dst_mac; src = t.netif.Netif.mac; ethertype = Ethernet.Ipv4; payload = ip_packet }
+      in
+      t.counters.frames_out <- t.counters.frames_out + 1;
+      Cost.charge t.meter Cost.Stack 150;
+      t.netif.Netif.transmit frame
+
+let udp_bind t ~port =
+  if List.exists (fun s -> s.uport = port) t.udp_socks then
+    invalid_arg "Stack.udp_bind: port already bound";
+  let s = { uport = port; rxq = Queue.create () } in
+  t.udp_socks <- s :: t.udp_socks;
+  s
+
+let udp_recv s = if Queue.is_empty s.rxq then None else Some (Queue.take s.rxq)
+let udp_port s = s.uport
+
+let drop t reason =
+  t.counters.dropped <- t.counters.dropped + 1;
+  t.counters.last_drop_reason <- reason;
+  Log.debug (fun m -> m "drop: %s" reason)
+
+let handle_frame t frame =
+  t.counters.frames_in <- t.counters.frames_in + 1;
+  Cost.charge t.meter Cost.Stack 150;
+  match Ethernet.parse frame with
+  | Error e -> drop t e
+  | Ok eth ->
+      if eth.Ethernet.dst <> t.netif.Netif.mac && eth.Ethernet.dst <> Addr.mac_broadcast then
+        drop t "ethernet: not for us"
+      else begin
+        match eth.Ethernet.ethertype with
+        | Ethernet.Arp | Ethernet.Unknown _ -> drop t "ethernet: unhandled ethertype"
+        | Ethernet.Ipv4 -> (
+            match Ipv4.parse eth.Ethernet.payload with
+            | Error e -> drop t e
+            | Ok ip ->
+                if ip.Ipv4.dst <> t.ip then drop t "ipv4: not our address"
+                else begin
+                  match ip.Ipv4.protocol with
+                  | Ipv4.Tcp -> (
+                      match Tcp_wire.parse ~src_ip:ip.Ipv4.src ~dst_ip:ip.Ipv4.dst ip.Ipv4.payload with
+                      | Error e -> drop t e
+                      | Ok seg -> Tcp.input t.tcp ~src:ip.Ipv4.src seg)
+                  | Ipv4.Udp -> (
+                      match Udp.parse ~src_ip:ip.Ipv4.src ~dst_ip:ip.Ipv4.dst ip.Ipv4.payload with
+                      | Error e -> drop t e
+                      | Ok dgram -> (
+                          match List.find_opt (fun s -> s.uport = dgram.Udp.dst_port) t.udp_socks with
+                          | None -> drop t "udp: no socket bound"
+                          | Some s ->
+                              if Queue.length s.rxq < 1024 then
+                                Queue.add (ip.Ipv4.src, dgram.Udp.src_port, dgram.Udp.payload) s.rxq
+                              else drop t "udp: socket queue full"))
+                  | Ipv4.Unknown _ -> drop t "ipv4: unhandled protocol"
+                end)
+      end
+
+(* One scheduling quantum: drain pending RX frames (bounded), then run TCP
+   timers. Drivers are polled, never notify. *)
+let poll ?(budget = 64) t =
+  let rec go n =
+    if n > 0 then begin
+      match t.netif.Netif.poll () with
+      | None -> ()
+      | Some frame ->
+          handle_frame t frame;
+          go (n - 1)
+    end
+  in
+  go budget;
+  Tcp.tick t.tcp

@@ -1,0 +1,46 @@
+(** IP stack facade: Ethernet/IPv4 demux over a polling {!Netif.t}, UDP
+    sockets, and a {!Tcp.t} instance. Neighbour resolution is a static
+    table (zero-negotiation principle). *)
+
+open Cio_util
+open Cio_frame
+
+type udp_socket
+
+type counters = {
+  mutable frames_in : int;
+  mutable frames_out : int;
+  mutable dropped : int;
+  mutable last_drop_reason : string;
+}
+
+type t
+
+val create :
+  ?ttl:int ->
+  ?model:Cost.model ->
+  ?meter:Cost.meter ->
+  netif:Netif.t ->
+  ip:Addr.ipv4 ->
+  neighbors:(Addr.ipv4 * Addr.mac) list ->
+  now:(unit -> int64) ->
+  rng:Rng.t ->
+  unit ->
+  t
+
+val tcp : t -> Tcp.t
+val ip : t -> Addr.ipv4
+val counters : t -> counters
+val meter : t -> Cost.meter
+
+val send_udp : t -> src_port:int -> dst:Addr.ipv4 -> dst_port:int -> bytes -> unit
+
+val udp_bind : t -> port:int -> udp_socket
+val udp_recv : udp_socket -> (Addr.ipv4 * int * bytes) option
+val udp_port : udp_socket -> int
+
+val handle_frame : t -> bytes -> unit
+(** Inject one raw Ethernet frame (normally called via {!poll}). *)
+
+val poll : ?budget:int -> t -> unit
+(** Drain up to [budget] received frames, then run TCP timers. *)

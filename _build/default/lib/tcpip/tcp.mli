@@ -1,0 +1,78 @@
+(** TCP (RFC 9293 subset): handshake, sliding-window data transfer,
+    reassembly, retransmission with backoff, fast retransmit, slow start /
+    congestion avoidance, graceful close, RST handling.
+
+    Polling-driven: the owner feeds parsed segments via {!input} and calls
+    {!tick} from its poll loop; there are no callbacks or notifications,
+    matching the paper's no-notification principle. *)
+
+open Cio_util
+open Cio_frame
+
+type state =
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+  | Closed
+
+val state_name : state -> string
+
+type conn
+type listener
+type t
+
+val create :
+  ?default_mss:int ->
+  ?base_rto_ns:int64 ->
+  ?max_retries:int ->
+  ?model:Cost.model ->
+  ?meter:Cost.meter ->
+  local_ip:Addr.ipv4 ->
+  send_segment:(dst:Addr.ipv4 -> bytes -> unit) ->
+  now:(unit -> int64) ->
+  rng:Rng.t ->
+  unit ->
+  t
+
+val meter : t -> Cost.meter
+val segments_in : t -> int
+val segments_out : t -> int
+
+val conn_state : conn -> state
+val conn_error : conn -> string option
+val conn_id : conn -> int
+
+val connect : t -> ?src_port:int -> dst:Addr.ipv4 -> dst_port:int -> unit -> conn
+val listen : t -> port:int -> ?backlog:int -> unit -> listener
+val accept : listener -> conn option
+
+val send : t -> conn -> bytes -> int
+(** Queue application data; returns bytes accepted (0 unless the
+    connection is open for sending). Call {!flush} to segment. *)
+
+val flush : t -> conn -> unit
+
+val recv : t -> conn -> max:int -> bytes
+val recv_available : conn -> int
+
+val eof : conn -> bool
+(** Peer FIN received and the reassembly buffer fully drained. *)
+
+val close : t -> conn -> unit
+val abort : t -> conn -> unit
+
+val input : t -> src:Addr.ipv4 -> Tcp_wire.t -> unit
+(** Process one inbound segment (already IP-demultiplexed). *)
+
+val tick : t -> unit
+(** Run retransmission / TIME-WAIT timers against the [now] clock. *)
+
+val gc : t -> unit
+(** Drop all closed connections, including errored ones. *)

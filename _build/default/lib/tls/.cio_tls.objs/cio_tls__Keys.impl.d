@@ -1,0 +1,1 @@
+lib/tls/keys.ml: Aead Bytes Char Cio_crypto Hkdf Hmac

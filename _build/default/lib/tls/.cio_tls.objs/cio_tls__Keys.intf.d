@@ -1,0 +1,1 @@
+lib/tls/keys.mli:

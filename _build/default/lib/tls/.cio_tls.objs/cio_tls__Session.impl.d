@@ -1,0 +1,1 @@
+lib/tls/session.ml: Aead Buffer Bytes Char Cio_crypto Cio_util Cost Ct Int64 Keys Printf Rng Sha256 String Wire

@@ -1,0 +1,1 @@
+lib/tls/session.mli: Cio_util Cost Rng

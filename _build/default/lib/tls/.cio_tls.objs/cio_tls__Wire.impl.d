@@ -1,0 +1,1 @@
+lib/tls/wire.ml: Buffer Bytes Char List Printf String

@@ -1,0 +1,1 @@
+lib/tls/wire.mli:

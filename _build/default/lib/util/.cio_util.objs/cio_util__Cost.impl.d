@@ -1,0 +1,1 @@
+lib/util/cost.ml: Array Fmt List

@@ -1,0 +1,20 @@
+(** Power-of-two arithmetic for masked rings and aligned regions. *)
+
+val is_power_of_two : int -> bool
+
+val next_power_of_two : int -> int
+(** Smallest power of two [>= n] (and [>= 1]). *)
+
+val mask_of_size : int -> int
+(** [mask_of_size n] is [n - 1] for power-of-two [n]; raises
+    [Invalid_argument] otherwise. Applying the mask confines any index to
+    [0, n). *)
+
+val align_up : int -> align:int -> int
+val align_down : int -> align:int -> int
+val is_aligned : int -> align:int -> bool
+
+val log2 : int -> int
+(** Exact log2 of a power of two. *)
+
+val popcount : int -> int

@@ -1,0 +1,14 @@
+(** Hex encoding, decoding (whitespace-tolerant, for RFC test vectors) and
+    hexdump formatting. *)
+
+val of_bytes : bytes -> string
+val of_string : string -> string
+
+val to_bytes : string -> bytes
+(** Raises [Invalid_argument] on non-hex input or odd digit count.
+    Whitespace is ignored. *)
+
+val to_string : string -> string
+
+val dump : ?width:int -> bytes -> string
+(** Classic offset/hex/ASCII dump. *)

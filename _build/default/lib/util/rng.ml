@@ -1,0 +1,64 @@
+(* SplitMix64: deterministic, splittable pseudo-random generator.
+
+   Every stochastic component of the simulator (workload generators, the
+   network adversary, attack scheduling) draws from an explicitly threaded
+   [Rng.t] so that experiments are reproducible bit-for-bit from a seed. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next_int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value always fits OCaml's tagged native int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t =
+  (* 53 random bits mapped to [0, 1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits /. 9007199254740992.0
+
+let range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let byte t = int t 256
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set b i (Char.chr (byte t))
+  done;
+  b
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  let u = float t in
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u

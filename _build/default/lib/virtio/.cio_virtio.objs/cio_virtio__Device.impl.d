@@ -1,0 +1,1 @@
+lib/virtio/device.ml: Buffer Bytes Char Cio_mem Int64 List Logs Queue Region Vring

@@ -1,0 +1,1 @@
+lib/virtio/device.mli: Vring

@@ -1,0 +1,1 @@
+lib/virtio/driver_hardened.mli: Addr Cio_frame Cio_tcpip Transport

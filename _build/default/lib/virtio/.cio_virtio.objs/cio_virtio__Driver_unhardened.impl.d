@@ -1,0 +1,1 @@
+lib/virtio/driver_unhardened.ml: Array Bytes Cio_mem Cio_tcpip Cio_util Cost Queue Region Transport Vring

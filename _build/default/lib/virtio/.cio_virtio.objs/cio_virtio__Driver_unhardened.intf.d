@@ -1,0 +1,1 @@
+lib/virtio/driver_unhardened.mli: Addr Cio_frame Cio_tcpip Transport

@@ -1,0 +1,1 @@
+lib/virtio/packed.ml: Array Bitops Bytes Char Cio_mem Cio_util Cost Int64 List Queue Region

@@ -1,0 +1,1 @@
+lib/virtio/packed.mli: Cio_mem Cio_util Cost Region

@@ -1,0 +1,1 @@
+lib/virtio/transport.ml: Bitops Cio_mem Cio_util Cost Region Vring

@@ -1,0 +1,1 @@
+lib/virtio/transport.mli: Cio_mem Cio_util Cost Region Vring

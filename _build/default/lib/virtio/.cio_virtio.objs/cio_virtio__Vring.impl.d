@@ -1,0 +1,1 @@
+lib/virtio/vring.ml: Bitops Cio_mem Cio_util Int64 Region

@@ -1,0 +1,1 @@
+lib/virtio/vring.mli: Cio_mem Region

@@ -1,0 +1,23 @@
+(** Hardened guest virtio-net driver: the retrofitted-checks baseline of
+    Figures 3/4. Private shadow state, single fetches, id/liveness
+    validation, clamped lengths, systematic bounce copies — and the
+    corresponding per-operation cost. *)
+
+open Cio_frame
+
+type reject_stats = {
+  mutable bad_id : int;
+  mutable not_outstanding : int;
+  mutable len_clamped : int;
+  mutable runt : int;
+}
+
+type t
+
+val create : Transport.t -> t
+val transmit : t -> bytes -> bool
+val poll : t -> bytes option
+val kicks : t -> int
+val irqs : t -> int
+val rejects : t -> reject_stats
+val to_netif : t -> mac:Addr.mac -> Cio_tcpip.Netif.t

@@ -1,0 +1,198 @@
+(* Unhardened guest virtio-net driver — the legacy baseline.
+
+   This driver is written exactly the way pre-hardening paravirtual
+   drivers were written: it assumes the device is an honest part of the
+   platform. Every one of the following behaviours is a real pattern that
+   the Linux hardening commits studied in Figures 3/4 had to retrofit
+   away, and each is exploited by a scenario in [cio_attack]:
+
+   - trusts [used.id] without bounds or liveness checks (spatial +
+     temporal violations on completion);
+   - fetches [used.len] twice — once to size the private buffer, once to
+     copy — a textbook double fetch;
+   - does not clamp [used.len] to the posted buffer size (adjacent-buffer
+     over-read: information leak);
+   - walks descriptor chains *from shared memory* with no hop bound
+     (host-induced livelock);
+   - frees TX slots named by the device without checking they were
+     outstanding (double free / free-of-wild-slot).
+
+   It still *works* perfectly against an honest device, which is the whole
+   point of the comparison. *)
+
+open Cio_util
+open Cio_mem
+
+exception Unbounded_work of string
+(** Raised when the simulator's hop fuse trips: in a real driver this is
+    an unbounded loop on the RX path. *)
+
+type t = {
+  transport : Transport.t;
+  meter : Cost.meter;
+  model : Cost.model;
+  mutable rx_last_used : int;
+  mutable tx_last_used : int;
+  mutable rx_avail_next : int;
+  mutable tx_avail_next : int;
+  mutable tx_free : bool array;  (* slot states, trusted blindly on free *)
+  rxq : bytes Queue.t;           (* frames delivered to the stack *)
+  mutable kicks : int;
+  mutable irqs : int;
+}
+
+let charge t cat cycles = Cost.charge t.meter cat cycles
+
+let kick t =
+  t.kicks <- t.kicks + 1;
+  charge t Cost.Mmio t.model.Cost.mmio;
+  charge t Cost.Notification t.model.Cost.notification
+
+let post_rx_buffer t slot =
+  let vring = Transport.rx t.transport in
+  Vring.write_desc vring Guest slot
+    {
+      Vring.addr = Transport.rx_buf_offset t.transport slot;
+      len = Transport.buf_size t.transport;
+      flags = Vring.flag_write;
+      next = 0;
+    };
+  charge t Cost.Ring (2 * t.model.Cost.ring_op);
+  Vring.set_avail_entry vring Guest t.rx_avail_next slot;
+  Vring.set_avail_idx vring Guest (t.rx_avail_next + 1);
+  t.rx_avail_next <- (t.rx_avail_next + 1) land 0xFFFF
+
+let create transport =
+  let meter = Region.meter (Transport.region transport) in
+  let model = Region.model (Transport.region transport) in
+  let t =
+    {
+      transport;
+      meter;
+      model;
+      rx_last_used = 0;
+      tx_last_used = 0;
+      rx_avail_next = 0;
+      tx_avail_next = 0;
+      tx_free = Array.make (Transport.queue_size transport) true;
+      rxq = Queue.create ();
+      kicks = 0;
+      irqs = 0;
+    }
+  in
+  (* Prime the whole RX queue with buffers, like a driver's ndo_open. *)
+  for slot = 0 to Transport.queue_size transport - 1 do
+    post_rx_buffer t slot
+  done;
+  kick t;
+  t
+
+let kicks t = t.kicks
+let irqs t = t.irqs
+
+(* TX: copy the frame into the slot's shared buffer, post a descriptor,
+   kick. The copy is inherent to the bounce design; what is *missing* here
+   is every check. *)
+let transmit t frame =
+  let vring = Transport.tx t.transport in
+  let region = Transport.region t.transport in
+  let len = Bytes.length frame in
+  if len > Transport.buf_size t.transport then invalid_arg "transmit: frame larger than buffer"
+  else begin
+    (* Find a free slot (private state, but freed on the device's word). *)
+    let slot = ref (-1) in
+    Array.iteri (fun i free -> if free && !slot < 0 then slot := i) t.tx_free;
+    match !slot with
+    | -1 -> false  (* ring full *)
+    | slot ->
+        t.tx_free.(slot) <- false;
+        let off = Transport.tx_buf_offset t.transport slot in
+        (* Pre-CoCo zero-copy semantics: the posted buffer *is* the DMA
+           target, so publishing it costs no bounce copy (contrast with
+           the hardened driver's systematic SWIOTLB-style copy). *)
+        Region.guest_write region ~off frame;
+        Vring.write_desc vring Guest slot { Vring.addr = off; len; flags = 0; next = 0 };
+        charge t Cost.Ring (2 * t.model.Cost.ring_op);
+        Vring.set_avail_entry vring Guest t.tx_avail_next slot;
+        Vring.set_avail_idx vring Guest (t.tx_avail_next + 1);
+        t.tx_avail_next <- (t.tx_avail_next + 1) land 0xFFFF;
+        kick t;
+        true
+  end
+
+(* Reap TX completions: free whichever slot the device names. *)
+let reap_tx t =
+  let vring = Transport.tx t.transport in
+  let used = Vring.used_idx vring Guest in
+  charge t Cost.Ring t.model.Cost.ring_op;
+  let progressed = used <> t.tx_last_used in
+  while t.tx_last_used <> used do
+    let id, _len = Vring.used_entry vring Guest t.tx_last_used in
+    charge t Cost.Ring t.model.Cost.ring_op;
+    (* No bounds check, no liveness check: Array.set throws on a wild id,
+       modelling the memory corruption a real driver would suffer. *)
+    t.tx_free.(id) <- true;
+    t.tx_last_used <- (t.tx_last_used + 1) land 0xFFFF
+  done;
+  if progressed then begin
+    t.irqs <- t.irqs + 1;
+    charge t Cost.Notification t.model.Cost.notification
+  end
+
+(* Reap RX completions, unhardened. *)
+let reap_rx t =
+  let vring = Transport.rx t.transport in
+  let region = Transport.region t.transport in
+  let used = Vring.used_idx vring Guest in
+  charge t Cost.Ring t.model.Cost.ring_op;
+  let progressed = used <> t.rx_last_used in
+  while t.rx_last_used <> used do
+    (* FIRST fetch of the used entry: size a private buffer from it. *)
+    let id, len1 = Vring.used_entry vring Guest t.rx_last_used in
+    charge t Cost.Ring t.model.Cost.ring_op;
+    let private_buf = Bytes.create len1 in
+    (* SECOND fetch: the copy loop re-reads the length — double fetch. *)
+    let _, len2 = Vring.used_entry vring Guest t.rx_last_used in
+    (* Re-read the descriptor from *shared* memory (not the posted copy)
+       and trust whatever is there now. A wild [id] indexes outside the
+       descriptor table; a set NEXT flag sends us chain-walking with no
+       hop bound. *)
+    let rec drain_chain idx hops =
+      if hops > 4096 then raise (Unbounded_work "rx descriptor chain did not terminate");
+      let d = Vring.read_desc vring Guest idx in
+      charge t Cost.Ring t.model.Cost.ring_op;
+      if Vring.desc_has_next d then drain_chain d.Vring.next (hops + 1) else d
+    in
+    let d = drain_chain id 0 in
+    (* Read [used.len] bytes from the buffer address with no clamp to the
+       posted buffer size: a lying device makes this read the neighbour's
+       buffer (information leak). Zero-copy again: the stack parses the
+       DMA buffer in place, so no bounce copy is charged. *)
+    let chunk = Region.guest_read region ~off:d.Vring.addr ~len:len2 in
+    (* Assemble into the len1-sized buffer using len2 bytes: if the device
+       raced the two fetches this blit overflows (we inherit the bounds
+       error as the memory-corruption signal). *)
+    Bytes.blit chunk 0 private_buf 0 (Bytes.length chunk);
+    let frame = Bytes.sub private_buf 0 (min len1 (Bytes.length chunk)) in
+    Queue.add frame t.rxq;
+    (* Recycle the slot the device named. *)
+    post_rx_buffer t id;
+    t.rx_last_used <- (t.rx_last_used + 1) land 0xFFFF
+  done;
+  if progressed then begin
+    t.irqs <- t.irqs + 1;
+    charge t Cost.Notification t.model.Cost.notification
+  end
+
+let poll t =
+  reap_tx t;
+  reap_rx t;
+  if Queue.is_empty t.rxq then None else Some (Queue.take t.rxq)
+
+let to_netif t ~mac =
+  {
+    Cio_tcpip.Netif.mac;
+    mtu = 1500;
+    transmit = (fun frame -> ignore (transmit t frame));
+    poll = (fun () -> poll t);
+  }

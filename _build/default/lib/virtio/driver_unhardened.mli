@@ -1,0 +1,26 @@
+(** Unhardened guest virtio-net driver: the pre-hardening legacy baseline.
+
+    Trusts every device-written field — used ids, used lengths (fetched
+    twice), live descriptor contents, chain links. Works perfectly against
+    an honest device; each trusting behaviour is exploited by a scenario
+    in [cio_attack]. *)
+
+open Cio_frame
+
+exception Unbounded_work of string
+
+type t
+
+val create : Transport.t -> t
+(** Primes the whole RX queue with posted buffers, like ndo_open. *)
+
+val transmit : t -> bytes -> bool
+(** [false] when the TX ring is full. *)
+
+val poll : t -> bytes option
+(** Reap TX and RX completions; return the next received frame. *)
+
+val kicks : t -> int
+val irqs : t -> int
+
+val to_netif : t -> mac:Addr.mac -> Cio_tcpip.Netif.t

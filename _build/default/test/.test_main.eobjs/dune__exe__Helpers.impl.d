@@ -1,0 +1,1 @@
+test/helpers.ml: Addr Alcotest Buffer Bytes Cio_frame Cio_tcpip Cio_tls Cio_util Int64 List Option QCheck_alcotest

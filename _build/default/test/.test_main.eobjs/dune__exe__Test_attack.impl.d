@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Attack Bytes Cio_attack Fmt List Printf String

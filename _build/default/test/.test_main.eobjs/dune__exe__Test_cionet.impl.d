@@ -1,0 +1,1 @@
+test/test_cionet.ml: Alcotest Bitops Bytes Cio_cionet Cio_mem Cio_util Config Cost Driver Helpers Host_model List Printf QCheck Region Ring String

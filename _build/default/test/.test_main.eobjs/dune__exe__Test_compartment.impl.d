@@ -1,0 +1,1 @@
+test/test_compartment.ml: Alcotest Bytes Cio_compartment Cio_util Compartment Cost Helpers QCheck

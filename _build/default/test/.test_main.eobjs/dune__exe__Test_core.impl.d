@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bytes Channel Cio_cionet Cio_core Cio_netsim Cio_observe Cio_tcb Cio_tcpip Cio_tls Cio_util Configurations Cost Dual Engine Helpers Link List Option Peer Printf Rng Tunnel

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aead Alcotest Bytes Chacha20 Char Cio_crypto Cio_util Ct Helpers Hex Hkdf Hmac List Poly1305 QCheck Sha256 String

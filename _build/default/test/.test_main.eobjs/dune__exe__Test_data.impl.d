@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Cio_data Cve_net Hardening List

@@ -1,0 +1,1 @@
+test/test_dda.ml: Alcotest Bytes Char Cio_crypto Cio_dda Cio_util Cost Dda Helpers Ide Rng Spdm

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Buffer Bytes Cio_cionet Cio_experiments Cio_mem Cio_tcb Cio_tcpip Cio_util Config Cost Driver Format Helpers Host_model List Multiqueue Printf Queue Rng String

@@ -1,0 +1,1 @@
+test/test_frame.ml: Addr Alcotest Bytes Char Checksum Cio_frame Cio_util Ethernet Helpers Ipv4 List Pretty QCheck String Tcp_wire Udp

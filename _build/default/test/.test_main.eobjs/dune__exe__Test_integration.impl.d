@@ -1,0 +1,1 @@
+test/test_integration.ml: Adversary Alcotest Buffer Bytes Channel Cio_cionet Cio_core Cio_netsim Cio_tls Cio_util Dual Engine Helpers Link List Option Peer Printf Queue Rng String

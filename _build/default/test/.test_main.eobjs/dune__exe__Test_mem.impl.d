@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Cio_mem Cio_util Cost Helpers List Option Pool QCheck Region

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Adversary Alcotest Bytes Char Cio_netsim Cio_util Engine Helpers Link List

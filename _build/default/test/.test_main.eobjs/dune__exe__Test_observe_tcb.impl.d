@@ -1,0 +1,1 @@
+test/test_observe_tcb.ml: Alcotest Cio_observe Cio_tcb Int64 List Observe Printf Tcb

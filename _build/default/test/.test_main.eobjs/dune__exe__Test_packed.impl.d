@@ -1,0 +1,1 @@
+test/test_packed.ml: Alcotest Bytes Cio_mem Cio_virtio Helpers List Packed Printf String

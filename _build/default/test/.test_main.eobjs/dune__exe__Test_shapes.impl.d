@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Bitops Bytes Cio_cionet Cio_compartment Cio_data Cio_mem Cio_util Cio_virtio Compartment Cost Cve_net Hardening List Printf

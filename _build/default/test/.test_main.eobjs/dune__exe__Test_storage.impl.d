@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Blockdev Bytes Char Cio_storage Dual_store File Gen Helpers List Printf QCheck String

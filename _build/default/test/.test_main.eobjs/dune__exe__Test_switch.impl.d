@@ -1,0 +1,1 @@
+test/test_switch.ml: Addr Alcotest Array Bytes Channel Cio_cionet Cio_core Cio_frame Cio_netsim Cio_tcpip Cio_tls Cio_util Dual Engine Helpers List Peer Printf Rng Switch

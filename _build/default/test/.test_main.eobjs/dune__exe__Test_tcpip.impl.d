@@ -1,0 +1,1 @@
+test/test_tcpip.ml: Alcotest Buffer Bytes Char Cio_frame Cio_tcpip Cio_util Gen Helpers List Netif Option Printf QCheck Stack Tcp

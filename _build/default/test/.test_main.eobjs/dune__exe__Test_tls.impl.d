@@ -1,0 +1,1 @@
+test/test_tls.ml: Alcotest Bytes Char Cio_tls Cio_util Gen Helpers List Printf QCheck Session Wire

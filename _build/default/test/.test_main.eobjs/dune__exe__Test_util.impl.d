@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitops Bytes Cio_util Cost Crc32 Gen Helpers Hex List QCheck Rng Stats

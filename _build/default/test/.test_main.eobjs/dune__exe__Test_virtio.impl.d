@@ -1,0 +1,1 @@
+test/test_virtio.ml: Alcotest Bytes Cio_mem Cio_virtio Device Driver_hardened Driver_unhardened Helpers List Printf Region String Transport Vring

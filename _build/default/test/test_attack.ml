@@ -1,0 +1,117 @@
+(* E4 resilience-matrix expectations, pinned as a table of outcomes. *)
+
+open Cio_attack
+
+let outcome_t = Alcotest.testable (Fmt.of_to_string Attack.outcome_name) (fun a b ->
+    Attack.outcome_name a = Attack.outcome_name b)
+
+let run name target =
+  match Attack.find_scenario name with
+  | Some s -> Attack.run s target
+  | None -> Alcotest.fail ("unknown scenario " ^ name)
+
+let check_compromised name target =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s vs %s compromises" name (Attack.target_name target))
+    true
+    (Attack.is_compromise (run name target))
+
+let check_defended name target =
+  let o = run name target in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s vs %s defended (got %s: %s)" name (Attack.target_name target)
+       (Attack.outcome_name o) (Attack.outcome_detail o))
+    false (Attack.is_compromise o)
+
+let test_unhardened_falls_to_everything () =
+  List.iter
+    (fun s -> check_compromised s.Attack.sname Attack.Virtio_unhardened)
+    Attack.scenarios
+
+let test_unhardened_specific_outcomes () =
+  Alcotest.check outcome_t "lie-used-len leaks" (Attack.Leak "")
+    (run "lie-used-len" Attack.Virtio_unhardened);
+  Alcotest.check outcome_t "double fetch corrupts" (Attack.Corruption "")
+    (run "double-fetch-race" Attack.Virtio_unhardened);
+  Alcotest.check outcome_t "desc loop livelocks" (Attack.Livelock "")
+    (run "desc-loop" Attack.Virtio_unhardened)
+
+let test_hardened_stops_interface_attacks () =
+  List.iter
+    (fun name -> check_defended name Attack.Virtio_hardened)
+    [ "lie-used-len"; "bogus-id"; "double-fetch-race"; "desc-loop"; "redirect-buffer";
+      "used-idx-jump" ]
+
+let test_hardened_cannot_stop_payload_attacks () =
+  (* No L2 defense can authenticate payload bytes: this is the paper's
+     argument for the mandatory L5 layer. *)
+  check_compromised "replay-completion" Attack.Virtio_hardened;
+  check_compromised "corrupt-payload" Attack.Virtio_hardened
+
+let test_cionet_confines_by_construction () =
+  List.iter
+    (fun name -> check_defended name Attack.Cionet)
+    [ "lie-used-len"; "bogus-id"; "double-fetch-race"; "desc-loop"; "redirect-buffer" ]
+
+let test_dual_defends_everything () =
+  List.iter (fun s -> check_defended s.Attack.sname Attack.Dual) Attack.scenarios
+
+let test_dual_fails_closed_on_payload_attacks () =
+  Alcotest.check outcome_t "replay fails closed" (Attack.Fail_closed "")
+    (run "replay-completion" Attack.Dual);
+  Alcotest.check outcome_t "corruption fails closed" (Attack.Fail_closed "")
+    (run "corrupt-payload" Attack.Dual)
+
+let test_matrix_shape () =
+  let matrix = Attack.matrix () in
+  Alcotest.(check int) "eight scenarios" 8 (List.length matrix);
+  List.iter
+    (fun (_, row) -> Alcotest.(check int) "four targets per row" 4 (List.length row))
+    matrix;
+  (* Aggregate: compromises strictly decrease from unhardened to dual. *)
+  let count target =
+    List.length
+      (List.filter
+         (fun (_, row) -> Attack.is_compromise (List.assoc target row))
+         matrix)
+  in
+  let u = count Attack.Virtio_unhardened
+  and h = count Attack.Virtio_hardened
+  and c = count Attack.Cionet
+  and d = count Attack.Dual in
+  Alcotest.(check int) "unhardened: all compromise" 8 u;
+  Alcotest.(check bool) "hardened < unhardened" true (h < u);
+  Alcotest.(check bool) "cionet <= hardened" true (c <= h);
+  Alcotest.(check int) "dual: none" 0 d
+
+let test_stack_compromise_multi_stage () =
+  let r = Attack.run_stack_compromise () in
+  Alcotest.(check bool) "direct read denied" false (Attack.is_compromise r.Attack.direct_read);
+  Alcotest.(check bool) "forged stream denied" false (Attack.is_compromise r.Attack.forged_stream);
+  Alcotest.check outcome_t "compartment confines" (Attack.Confined "") r.Attack.direct_read;
+  Alcotest.check outcome_t "record layer fails closed" (Attack.Fail_closed "") r.Attack.forged_stream
+
+let test_canary_detector () =
+  Alcotest.(check bool) "full canary found" true
+    (Attack.contains_canary (Bytes.of_string ("prefix" ^ Attack.canary ^ "suffix")));
+  Alcotest.(check bool) "partial window found" true
+    (Attack.contains_canary (Bytes.of_string (String.sub Attack.canary 0 12)));
+  Alcotest.(check bool) "clean data clean" false
+    (Attack.contains_canary (Bytes.make 100 'x'))
+
+let suite =
+  [
+    Alcotest.test_case "unhardened falls to all classes" `Quick test_unhardened_falls_to_everything;
+    Alcotest.test_case "unhardened specific outcomes" `Quick test_unhardened_specific_outcomes;
+    Alcotest.test_case "hardened stops interface attacks" `Quick test_hardened_stops_interface_attacks;
+    Alcotest.test_case "hardened cannot stop payload attacks" `Quick
+      test_hardened_cannot_stop_payload_attacks;
+    Alcotest.test_case "cionet confines by construction" `Quick test_cionet_confines_by_construction;
+    Alcotest.test_case "dual defends everything" `Quick test_dual_defends_everything;
+    Alcotest.test_case "dual fails closed on payload attacks" `Quick
+      test_dual_fails_closed_on_payload_attacks;
+    Alcotest.test_case "matrix shape + monotonicity" `Quick test_matrix_shape;
+    Alcotest.test_case "compromised stack: multi-stage required" `Quick
+      test_stack_compromise_multi_stage;
+    Alcotest.test_case "canary detector" `Quick test_canary_detector;
+  ]

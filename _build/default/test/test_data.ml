@@ -1,0 +1,81 @@
+(* Figure 2-4 dataset invariants: the properties the paper's argument
+   rests on must hold in the embedded data and survive the analysis
+   pipeline. *)
+
+open Cio_data
+
+let test_cve_coverage () =
+  Alcotest.(check int) "2002-2022" 21 (Cve_net.years_covered ());
+  Alcotest.(check bool) "CVEs in every covered year" true
+    (Cve_net.years_with_cves () = Cve_net.years_covered ())
+
+let test_cve_never_converges () =
+  (* The figure's point: two decades of hardening and the subsystem still
+     produces remote CVEs; no downward trend to zero. *)
+  Alcotest.(check bool) "non-negative trend" true (Cve_net.trend_slope () >= 0.0);
+  let last_five =
+    List.filter (fun y -> y.Cve_net.year >= 2018) Cve_net.series
+    |> List.fold_left (fun acc y -> acc + y.Cve_net.count) 0
+  in
+  Alcotest.(check bool) "recent years still double digits" true (last_five / 5 >= 10)
+
+let test_cve_peak () =
+  let p = Cve_net.peak () in
+  Alcotest.(check int) "peak year" 2017 p.Cve_net.year;
+  Alcotest.(check bool) "mean below peak" true (Cve_net.mean_per_year () < float_of_int p.Cve_net.count)
+
+let test_fig3_distribution () =
+  (* NetVSC: "add checks" dominates at ~21%. *)
+  Alcotest.(check string) "dominant" "add checks"
+    (Hardening.category_name (Hardening.dominant_category Hardening.Netvsc));
+  let pct = Hardening.percentage Hardening.Netvsc Hardening.Add_checks in
+  Alcotest.(check bool) "~21%" true (pct > 19.0 && pct < 23.0);
+  let total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (Hardening.distribution Hardening.Netvsc)
+  in
+  Alcotest.(check int) "distribution covers corpus" (Hardening.total Hardening.Netvsc) total
+
+let test_fig4_distribution () =
+  Alcotest.(check string) "dominant" "add checks"
+    (Hardening.category_name (Hardening.dominant_category Hardening.Virtio));
+  let pct = Hardening.percentage Hardening.Virtio Hardening.Add_checks in
+  Alcotest.(check bool) "~35%" true (pct > 32.0 && pct < 38.0)
+
+let test_fig4_amend_rate () =
+  (* "over 40 commits, 12 either revert or amend previous hardening
+     changes, some of them never to be re-applied" *)
+  Alcotest.(check int) "12 amendments" 12 (Hardening.amend_count Hardening.Virtio);
+  Alcotest.(check bool) "over 40 commits" true (Hardening.total Hardening.Virtio > 40);
+  Alcotest.(check bool) "double-digit amend share" true (Hardening.amend_rate Hardening.Virtio >= 0.10);
+  Alcotest.(check bool) "some never re-applied" true (Hardening.revert_count Hardening.Virtio > 0)
+
+let test_amends_reference_earlier_commits () =
+  List.iter
+    (fun c ->
+      match c.Hardening.category with
+      | Hardening.Amend_previous ->
+          Alcotest.(check bool) "amend has target" true (c.Hardening.amends <> None)
+      | _ -> Alcotest.(check (option string)) "non-amend has none" None c.Hardening.amends)
+    Hardening.corpus
+
+let test_corpus_ids_unique () =
+  let ids = List.map (fun c -> c.Hardening.id) Hardening.corpus in
+  Alcotest.(check int) "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids))
+
+let test_subsystem_partition () =
+  Alcotest.(check int) "netvsc + virtio = corpus"
+    (List.length Hardening.corpus)
+    (Hardening.total Hardening.Netvsc + Hardening.total Hardening.Virtio)
+
+let suite =
+  [
+    Alcotest.test_case "fig2: coverage" `Quick test_cve_coverage;
+    Alcotest.test_case "fig2: never converges" `Quick test_cve_never_converges;
+    Alcotest.test_case "fig2: peak" `Quick test_cve_peak;
+    Alcotest.test_case "fig3: netvsc distribution" `Quick test_fig3_distribution;
+    Alcotest.test_case "fig4: virtio distribution" `Quick test_fig4_distribution;
+    Alcotest.test_case "fig4: amend/revert rate" `Quick test_fig4_amend_rate;
+    Alcotest.test_case "corpus: amend links" `Quick test_amends_reference_earlier_commits;
+    Alcotest.test_case "corpus: unique ids" `Quick test_corpus_ids_unique;
+    Alcotest.test_case "corpus: subsystem partition" `Quick test_subsystem_partition;
+  ]

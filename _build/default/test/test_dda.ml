@@ -1,0 +1,104 @@
+(* §3.4 / E10: SPDM attestation, IDE link, and the compromised-device
+   caveat. *)
+
+open Cio_util
+open Cio_dda
+
+let rng () = Rng.create 31L
+
+let test_honest_device_attests () =
+  match Dda.establish ~rng:(rng ()) () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Dda.error_to_string e)
+
+let test_counterfeit_fails_attestation () =
+  match Dda.establish ~counterfeit:true ~rng:(rng ()) () with
+  | Error (Dda.Attestation_failed Spdm.Bad_signature) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Dda.error_to_string e)
+  | Ok _ -> Alcotest.fail "counterfeit must fail attestation"
+
+let test_unknown_measurement_fails () =
+  let root_key = Bytes.of_string "vendor-root-endorsement-key-32b." in
+  let device =
+    Spdm.make_device ~root_key ~device_id:"nic0"
+      ~measurement:(Cio_crypto.Sha256.digest_string "rogue-firmware")
+  in
+  match
+    Spdm.attest ~root_key
+      ~reference_measurements:[ Cio_crypto.Sha256.digest_string "golden" ]
+      ~rng:(rng ()) device
+  with
+  | Error Spdm.Unknown_measurement -> ()
+  | _ -> Alcotest.fail "unknown measurement must fail"
+
+let test_transfer_roundtrip () =
+  match Dda.establish ~rng:(rng ()) () with
+  | Error e -> Alcotest.fail (Dda.error_to_string e)
+  | Ok t -> (
+      match Dda.transfer t (Bytes.of_string "dma-payload") with
+      | Ok data -> Helpers.check_bytes "echoed" (Bytes.of_string "dma-payload") data
+      | Error e -> Alcotest.fail (Dda.error_to_string e))
+
+let test_host_tamper_detected () =
+  match Dda.establish ~rng:(rng ()) () with
+  | Error e -> Alcotest.fail (Dda.error_to_string e)
+  | Ok t -> (
+      match Dda.transfer_with_host_tamper t (Bytes.of_string "payload") with
+      | Error Dda.Link_tampered -> ()
+      | _ -> Alcotest.fail "IDE must reject host-in-the-middle")
+
+let test_compromised_device_defeats_dda () =
+  (* The paper's caveat: attestation proves identity, not honesty. *)
+  match Dda.establish ~behavior:Dda.Compromised ~rng:(rng ()) () with
+  | Error e -> Alcotest.fail (Dda.error_to_string e)
+  | Ok t -> (
+      match Dda.transfer t (Bytes.of_string "trusting-you") with
+      | Ok data ->
+          Alcotest.(check bool) "corrupted data accepted as genuine" false
+            (Bytes.equal data (Bytes.of_string "trusting-you"))
+      | Error _ -> Alcotest.fail "the compromise is silent by design")
+
+let test_dda_datapath_cheap () =
+  (* IDE crypto is hardware: the TEE pays only DMA movement, far less
+     than a software AEAD pass over the same bytes. *)
+  match Dda.establish ~rng:(rng ()) () with
+  | Error e -> Alcotest.fail (Dda.error_to_string e)
+  | Ok t ->
+      let payload = Bytes.make 4096 'd' in
+      ignore (Dda.transfer t payload);
+      let dda_cycles = Cost.total (Dda.meter t) in
+      let sw_crypto = Cost.aead_cost Cost.default 4096 in
+      Alcotest.(check bool) "guest-side DDA cost < one software AEAD pass" true
+        (Cost.cycles_of (Dda.meter t) Cost.Dma > 0 && dda_cycles < 4 * sw_crypto)
+
+let test_ide_sequence_advances_only_on_success () =
+  let key = Bytes.make 32 'I' in
+  let a = Ide.create ~key () and b = Ide.create ~key () in
+  let tlp1 = Ide.seal_tlp a (Bytes.of_string "one") in
+  let bad = Bytes.copy tlp1 in
+  Bytes.set bad 0 (Char.chr (Char.code (Bytes.get bad 0) lxor 1));
+  Alcotest.(check bool) "tampered rejected" true (Ide.open_tlp b bad = None);
+  (* The honest TLP still opens: the window did not slip. *)
+  match Ide.open_tlp b tlp1 with
+  | Some p -> Helpers.check_bytes "original opens" (Bytes.of_string "one") p
+  | None -> Alcotest.fail "sequence must not advance on failure"
+
+let test_ide_replay_rejected () =
+  let key = Bytes.make 32 'I' in
+  let a = Ide.create ~key () and b = Ide.create ~key () in
+  let tlp = Ide.seal_tlp a (Bytes.of_string "once") in
+  ignore (Ide.open_tlp b tlp);
+  Alcotest.(check bool) "replay rejected" true (Ide.open_tlp b tlp = None)
+
+let suite =
+  [
+    Alcotest.test_case "spdm: honest device attests" `Quick test_honest_device_attests;
+    Alcotest.test_case "spdm: counterfeit fails" `Quick test_counterfeit_fails_attestation;
+    Alcotest.test_case "spdm: unknown measurement fails" `Quick test_unknown_measurement_fails;
+    Alcotest.test_case "dda: transfer roundtrip" `Quick test_transfer_roundtrip;
+    Alcotest.test_case "dda: host tamper detected" `Quick test_host_tamper_detected;
+    Alcotest.test_case "dda: compromised device wins (E10)" `Quick test_compromised_device_defeats_dda;
+    Alcotest.test_case "dda: datapath cheap (E10)" `Quick test_dda_datapath_cheap;
+    Alcotest.test_case "ide: sequence discipline" `Quick test_ide_sequence_advances_only_on_success;
+    Alcotest.test_case "ide: replay rejected" `Quick test_ide_replay_rejected;
+  ]

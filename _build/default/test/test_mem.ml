@@ -1,0 +1,272 @@
+(* Tests for the TEE memory model: protections, sharing/revocation,
+   double-fetch transactions, and the pool allocator policies. *)
+
+open Cio_util
+open Cio_mem
+
+let make ?(prot = Region.Shared) ?(size = 4 * 4096) () =
+  Region.create ~prot ~name:"test" size
+
+let test_guest_rw_roundtrip () =
+  let r = make () in
+  Region.guest_write r ~off:100 (Bytes.of_string "hello");
+  Helpers.check_bytes "roundtrip" (Bytes.of_string "hello") (Region.guest_read r ~off:100 ~len:5)
+
+let test_host_rw_shared () =
+  let r = make () in
+  Region.host_write r ~off:0 (Bytes.of_string "host");
+  Helpers.check_bytes "host sees shared" (Bytes.of_string "host") (Region.host_read r ~off:0 ~len:4)
+
+let test_host_faults_on_private () =
+  let r = make ~prot:Region.Private () in
+  (match Region.host_read r ~off:0 ~len:4 with
+  | _ -> Alcotest.fail "host read of private memory must fault"
+  | exception Region.Fault (Region.Host_access_private _) -> ());
+  match Region.host_write r ~off:0 (Bytes.of_string "x") with
+  | _ -> Alcotest.fail "host write of private memory must fault"
+  | exception Region.Fault (Region.Host_access_private _) -> ()
+
+let test_guest_reads_private () =
+  let r = make ~prot:Region.Private () in
+  Region.guest_write r ~off:0 (Bytes.of_string "secret");
+  Helpers.check_bytes "guest ok" (Bytes.of_string "secret") (Region.guest_read r ~off:0 ~len:6)
+
+let test_out_of_bounds_faults () =
+  let r = make ~size:4096 () in
+  (match Region.guest_read r ~off:4090 ~len:10 with
+  | _ -> Alcotest.fail "oob read must fault"
+  | exception Region.Fault (Region.Out_of_bounds _) -> ());
+  match Region.guest_read r ~off:(-1) ~len:1 with
+  | _ -> Alcotest.fail "negative offset must fault"
+  | exception Region.Fault (Region.Out_of_bounds _) -> ()
+
+let test_unshare_revokes_host_access () =
+  let r = make () in
+  Region.host_write r ~off:0 (Bytes.of_string "ok");
+  Region.unshare_page r 0;
+  (match Region.host_read r ~off:0 ~len:2 with
+  | _ -> Alcotest.fail "revoked page must fault for host"
+  | exception Region.Fault (Region.Host_access_private _) -> ());
+  (* Other pages remain shared. *)
+  Region.host_write r ~off:4096 (Bytes.of_string "ok");
+  (* Re-sharing restores access. *)
+  Region.share_page r 0;
+  Region.host_write r ~off:0 (Bytes.of_string "ok")
+
+let test_partial_range_shared () =
+  let r = make () in
+  Region.unshare_page r 1;
+  Alcotest.(check bool) "page 0 shared" true (Region.range_shared r 0 4096);
+  Alcotest.(check bool) "range spanning private page" false (Region.range_shared r 4000 200);
+  match Region.host_read r ~off:4000 ~len:200 with
+  | _ -> Alcotest.fail "spanning read must fault"
+  | exception Region.Fault (Region.Host_access_private _) -> ()
+
+let test_share_costs_batched () =
+  let model = Cost.default in
+  let r = make () in
+  let m = Region.meter r in
+  (* Unshare all 4 pages in one batched call. *)
+  Region.unshare_range r ~off:0 ~len:(4 * 4096);
+  let batched = Cost.cycles_of m Cost.Unshare in
+  Alcotest.(check int) "one full + three extras"
+    (model.Cost.page_unshare + (3 * model.Cost.page_unshare_extra))
+    batched;
+  (* Per-page calls cost full price each. *)
+  let r2 = make () in
+  let m2 = Region.meter r2 in
+  for p = 0 to 3 do
+    Region.unshare_page r2 p
+  done;
+  Alcotest.(check int) "per-page pays full each" (4 * model.Cost.page_unshare)
+    (Cost.cycles_of m2 Cost.Unshare)
+
+let test_unshare_idempotent_cost () =
+  let r = make () in
+  let m = Region.meter r in
+  Region.unshare_page r 0;
+  let once = Cost.cycles_of m Cost.Unshare in
+  Region.unshare_page r 0;
+  Alcotest.(check int) "no double charge" once (Cost.cycles_of m Cost.Unshare)
+
+let test_copy_in_charges () =
+  let r = make () in
+  let m = Region.meter r in
+  ignore (Region.copy_in r ~off:0 ~len:1024);
+  Alcotest.(check bool) "copy charged" (Cost.cycles_of m Cost.Copy > 0) true;
+  Alcotest.(check int) "exact" (Cost.copy_cost (Region.model r) 1024) (Cost.cycles_of m Cost.Copy)
+
+let test_double_fetch_detected () =
+  let r = make () in
+  Region.guest_write r ~off:0 (Bytes.of_string "AAAA");
+  Region.begin_txn r;
+  ignore (Region.guest_read r ~off:0 ~len:4);
+  ignore (Region.guest_read r ~off:0 ~len:4);
+  let hazards = Region.end_txn r in
+  Alcotest.(check int) "one hazard" 1 (List.length hazards);
+  Alcotest.(check bool) "not mutated" false (List.hd hazards).Region.mutated
+
+let test_double_fetch_mutation_flagged () =
+  let r = make () in
+  Region.guest_write r ~off:0 (Bytes.of_string "AAAA");
+  Region.begin_txn r;
+  ignore (Region.guest_read r ~off:0 ~len:4);
+  Region.host_write r ~off:0 (Bytes.of_string "BBBB");
+  ignore (Region.guest_read r ~off:0 ~len:4);
+  let hazards = Region.end_txn r in
+  Alcotest.(check bool) "mutation flagged" true
+    (List.exists (fun h -> h.Region.mutated) hazards)
+
+let test_single_fetch_no_hazard () =
+  let r = make () in
+  Region.begin_txn r;
+  ignore (Region.guest_read r ~off:0 ~len:4);
+  ignore (Region.guest_read r ~off:100 ~len:4);
+  Alcotest.(check int) "disjoint reads, no hazard" 0 (List.length (Region.end_txn r))
+
+let test_overlapping_fetch_hazard () =
+  let r = make () in
+  Region.begin_txn r;
+  ignore (Region.guest_read r ~off:0 ~len:8);
+  ignore (Region.guest_read r ~off:4 ~len:8);
+  Alcotest.(check int) "overlap is a hazard" 1 (List.length (Region.end_txn r))
+
+let test_guest_read_hook_fires () =
+  let r = make () in
+  Region.guest_write r ~off:0 (Bytes.of_string "\x01\x02\x03\x04");
+  let fired = ref 0 in
+  Region.set_guest_read_hook r
+    (Some
+       (fun ~off:_ ~len:_ ->
+         incr fired;
+         Region.set_guest_read_hook r None;
+         Region.host_write r ~off:0 (Bytes.of_string "\xFF")));
+  let first = Region.guest_read r ~off:0 ~len:1 in
+  let second = Region.guest_read r ~off:0 ~len:1 in
+  Alcotest.(check int) "fired once" 1 !fired;
+  Alcotest.(check char) "first read honest" '\x01' (Bytes.get first 0);
+  Alcotest.(check char) "second read sees race" '\xFF' (Bytes.get second 0)
+
+let test_events_logged () =
+  let r = make () in
+  Region.clear_log r;
+  ignore (Region.guest_read r ~off:0 ~len:4);
+  Region.host_write r ~off:8 (Bytes.of_string "hi");
+  let events = Region.events r in
+  Alcotest.(check int) "two events" 2 (List.length events);
+  match events with
+  | [ Region.Read { actor = Region.Guest; _ }; Region.Write { actor = Region.Host; _ } ] -> ()
+  | _ -> Alcotest.fail "unexpected event sequence"
+
+let test_word_accessors () =
+  let r = make () in
+  Region.write_u16 r Region.Guest ~off:0 0xBEEF;
+  Alcotest.(check int) "u16" 0xBEEF (Region.read_u16 r Region.Guest ~off:0);
+  Region.write_u32 r Region.Guest ~off:4 0xDEADBEEF;
+  Alcotest.(check int) "u32" 0xDEADBEEF (Region.read_u32 r Region.Guest ~off:4);
+  Region.write_u64 r Region.Guest ~off:8 0x1122334455667788L;
+  Alcotest.(check int64) "u64" 0x1122334455667788L (Region.read_u64 r Region.Guest ~off:8);
+  Region.write_u8 r Region.Guest ~off:16 0xAB;
+  Alcotest.(check int) "u8" 0xAB (Region.read_u8 r Region.Guest ~off:16)
+
+(* --- pool --------------------------------------------------------- *)
+
+let make_pool metadata =
+  let r = make ~size:(64 * 1024) () in
+  (r, Pool.create ~region:r ~base:0 ~slot_size:512 ~slots:16 ~metadata)
+
+let test_pool_alloc_free_cycle () =
+  let _, p = make_pool Pool.Trusted in
+  let slots = List.init 16 (fun _ -> Option.get (Pool.alloc p)) in
+  Alcotest.(check int) "all allocated" 16 (Pool.allocated_count p);
+  Alcotest.(check (option int)) "exhausted" None (Pool.alloc p);
+  List.iter (Pool.free p) slots;
+  Alcotest.(check int) "all freed" 0 (Pool.allocated_count p)
+
+let test_pool_no_double_alloc () =
+  let _, p = make_pool Pool.Trusted in
+  let a = Option.get (Pool.alloc p) and b = Option.get (Pool.alloc p) in
+  Alcotest.(check bool) "distinct slots" true (a <> b)
+
+let test_pool_free_validation () =
+  let _, p = make_pool Pool.Trusted in
+  Alcotest.check_raises "free unallocated" (Invalid_argument "Pool.free: slot not allocated")
+    (fun () -> Pool.free p 3);
+  Alcotest.check_raises "free out of range" (Invalid_argument "Pool.free: bad slot") (fun () ->
+      Pool.free p 99)
+
+let test_pool_shared_unvalidated_corruptible () =
+  let r, p = make_pool Pool.Shared_unvalidated in
+  (* The host plants a wild slot id on top of the shared free stack. *)
+  let meta_off = Pool.base p + (Pool.slot_size p * Pool.slot_count p) in
+  let count = Region.read_u16 r Region.Host ~off:meta_off in
+  Region.write_u16 r Region.Host ~off:(meta_off + 2 + (2 * (count - 1))) 999;
+  match Pool.alloc p with
+  | _ -> Alcotest.fail "unvalidated pop must blow up on wild id"
+  | exception Pool.Corrupted_metadata _ -> ()
+
+let test_pool_shared_masked_confines () =
+  let r, p = make_pool Pool.Shared_masked in
+  let meta_off = Pool.base p + (Pool.slot_size p * Pool.slot_count p) in
+  let count = Region.read_u16 r Region.Host ~off:meta_off in
+  Region.write_u16 r Region.Host ~off:(meta_off + 2 + (2 * (count - 1))) 999;
+  match Pool.alloc p with
+  | Some slot -> Alcotest.(check bool) "confined to range" true (Pool.slot_in_bounds p slot)
+  | None -> Alcotest.fail "masked pop must still produce a slot"
+
+let test_pool_slot_io () =
+  let _, p = make_pool Pool.Trusted in
+  let slot = Option.get (Pool.alloc p) in
+  Pool.write_slot p slot (Bytes.of_string "payload");
+  Helpers.check_bytes "slot io" (Bytes.of_string "payload") (Pool.read_slot p slot ~len:7)
+
+let test_pool_geometry_validated () =
+  let r = make () in
+  Alcotest.check_raises "non-pow2 slot size"
+    (Invalid_argument "Pool.create: slot_size must be a power of two") (fun () ->
+      ignore (Pool.create ~region:r ~base:0 ~slot_size:100 ~slots:16 ~metadata:Pool.Trusted))
+
+let prop_pool_alloc_unique =
+  QCheck.Test.make ~name:"pool never double-allocates" ~count:100
+    QCheck.(int_range 1 16)
+    (fun n ->
+      let _, p = make_pool Pool.Trusted in
+      let allocated = List.filter_map (fun _ -> Pool.alloc p) (List.init n (fun i -> i)) in
+      let sorted = List.sort_uniq compare allocated in
+      List.length sorted = List.length allocated)
+
+let prop_masked_pool_always_in_bounds =
+  QCheck.Test.make ~name:"masked slot ids stay in bounds" ~count:300 QCheck.small_nat (fun v ->
+      let _, p = make_pool Pool.Shared_masked in
+      Pool.slot_in_bounds p (Pool.mask_slot p v))
+
+let suite =
+  [
+    Alcotest.test_case "region: guest roundtrip" `Quick test_guest_rw_roundtrip;
+    Alcotest.test_case "region: host access to shared" `Quick test_host_rw_shared;
+    Alcotest.test_case "region: host faults on private" `Quick test_host_faults_on_private;
+    Alcotest.test_case "region: guest reads private" `Quick test_guest_reads_private;
+    Alcotest.test_case "region: bounds faults" `Quick test_out_of_bounds_faults;
+    Alcotest.test_case "region: revocation" `Quick test_unshare_revokes_host_access;
+    Alcotest.test_case "region: partial range protection" `Quick test_partial_range_shared;
+    Alcotest.test_case "region: batched revocation cost" `Quick test_share_costs_batched;
+    Alcotest.test_case "region: idempotent unshare cost" `Quick test_unshare_idempotent_cost;
+    Alcotest.test_case "region: copy-in charged" `Quick test_copy_in_charges;
+    Alcotest.test_case "region: double fetch detected" `Quick test_double_fetch_detected;
+    Alcotest.test_case "region: raced double fetch flagged" `Quick test_double_fetch_mutation_flagged;
+    Alcotest.test_case "region: disjoint reads safe" `Quick test_single_fetch_no_hazard;
+    Alcotest.test_case "region: overlapping reads hazardous" `Quick test_overlapping_fetch_hazard;
+    Alcotest.test_case "region: guest-read race hook" `Quick test_guest_read_hook_fires;
+    Alcotest.test_case "region: access log" `Quick test_events_logged;
+    Alcotest.test_case "region: word accessors" `Quick test_word_accessors;
+    Alcotest.test_case "pool: alloc/free cycle" `Quick test_pool_alloc_free_cycle;
+    Alcotest.test_case "pool: unique allocation" `Quick test_pool_no_double_alloc;
+    Alcotest.test_case "pool: free validation" `Quick test_pool_free_validation;
+    Alcotest.test_case "pool: unvalidated metadata corruptible" `Quick
+      test_pool_shared_unvalidated_corruptible;
+    Alcotest.test_case "pool: masked metadata confined" `Quick test_pool_shared_masked_confines;
+    Alcotest.test_case "pool: slot io" `Quick test_pool_slot_io;
+    Alcotest.test_case "pool: geometry validated" `Quick test_pool_geometry_validated;
+    Helpers.qtest prop_pool_alloc_unique;
+    Helpers.qtest prop_masked_pool_always_in_bounds;
+  ]

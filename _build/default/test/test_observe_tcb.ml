@@ -1,0 +1,89 @@
+(* Observability scoring + TCB accounting tests. *)
+
+open Cio_observe
+open Cio_tcb
+
+let test_tap_records () =
+  let t = Observe.create "tap" in
+  Observe.record t ~time:0L ~kind:"frame" ~size:100;
+  Observe.record t ~time:1000L ~kind:"frame" ~size:200;
+  Observe.record t ~time:2000L ~kind:"kick" ~size:0;
+  Alcotest.(check int) "count" 3 (Observe.count t);
+  Alcotest.(check int) "kinds" 2 (Observe.kinds t)
+
+let test_uniform_stream_low_entropy () =
+  let uniform = Observe.create "uniform" and varied = Observe.create "varied" in
+  for i = 0 to 99 do
+    Observe.record uniform ~time:(Int64.of_int (i * 1000)) ~kind:"blob" ~size:1600;
+    Observe.record varied
+      ~time:(Int64.of_int (i * i * 137))
+      ~kind:(if i mod 3 = 0 then "send" else "recv")
+      ~size:(17 * ((i * 31 mod 11) + 1) * (i mod 7 + 1))
+  done;
+  Alcotest.(check bool) "uniform < varied" true (Observe.score uniform < Observe.score varied)
+
+let test_empty_tap_scores_zero () =
+  let t = Observe.create "empty" in
+  Alcotest.(check (float 1e-9)) "zero" 0.0 (Observe.entropy_bits t)
+
+let test_clear () =
+  let t = Observe.create "c" in
+  Observe.record t ~time:0L ~kind:"x" ~size:1;
+  Observe.clear t;
+  Alcotest.(check int) "cleared" 0 (Observe.count t)
+
+let test_more_kinds_more_score () =
+  let few = Observe.create "few" and many = Observe.create "many" in
+  for i = 0 to 63 do
+    Observe.record few ~time:(Int64.of_int (i * 1000)) ~kind:"frame" ~size:(100 + (i mod 4));
+    Observe.record many
+      ~time:(Int64.of_int (i * 1000))
+      ~kind:(Printf.sprintf "op%d" (i mod 8))
+      ~size:(100 + (i mod 4))
+  done;
+  Alcotest.(check bool) "richer vocabulary scores higher" true
+    (Observe.score many > Observe.score few)
+
+let test_tcb_components_measured () =
+  Tcb.set_repo_root ".";
+  List.iter
+    (fun name -> Alcotest.(check bool) (name ^ " nonzero") true (Tcb.loc name > 0))
+    [ "tcpip-stack"; "virtio-driver"; "cionet-driver"; "tls"; "crypto"; "compartment-runtime" ]
+
+let test_tcb_unknown_component () =
+  Alcotest.check_raises "unknown" (Invalid_argument "Tcb.loc: unknown component nonesuch")
+    (fun () -> ignore (Tcb.loc "nonesuch"))
+
+let test_tcb_profiles_complete () =
+  List.iter
+    (fun config ->
+      let p = Tcb.profile config in
+      Alcotest.(check bool) (config ^ " has a core") true (p.Tcb.core <> []);
+      Alcotest.(check bool) (config ^ " core loc > 0") true (Tcb.core_loc config > 0))
+    [ "syscall-l5"; "passthrough-l2"; "hardened-virtio"; "tunneled"; "dual-boundary" ]
+
+let test_tcb_dual_smallest_l2_core () =
+  Tcb.set_repo_root ".";
+  Alcotest.(check bool) "dual < passthrough" true
+    (Tcb.core_loc "dual-boundary" < Tcb.core_loc "passthrough-l2");
+  Alcotest.(check bool) "dual quarantined > 0" true (Tcb.quarantined_loc "dual-boundary" > 0);
+  Alcotest.(check int) "passthrough quarantines nothing" 0 (Tcb.quarantined_loc "passthrough-l2")
+
+let test_tcb_stack_outside_dual_core () =
+  let p = Tcb.profile "dual-boundary" in
+  Alcotest.(check bool) "stack quarantined" true (List.mem "tcpip-stack" p.Tcb.quarantined);
+  Alcotest.(check bool) "stack not in core" false (List.mem "tcpip-stack" p.Tcb.core)
+
+let suite =
+  [
+    Alcotest.test_case "observe: tap records" `Quick test_tap_records;
+    Alcotest.test_case "observe: uniform stream scores low" `Quick test_uniform_stream_low_entropy;
+    Alcotest.test_case "observe: empty tap" `Quick test_empty_tap_scores_zero;
+    Alcotest.test_case "observe: clear" `Quick test_clear;
+    Alcotest.test_case "observe: kind richness" `Quick test_more_kinds_more_score;
+    Alcotest.test_case "tcb: components measured" `Quick test_tcb_components_measured;
+    Alcotest.test_case "tcb: unknown component" `Quick test_tcb_unknown_component;
+    Alcotest.test_case "tcb: profiles complete" `Quick test_tcb_profiles_complete;
+    Alcotest.test_case "tcb: dual smallest L2 core" `Quick test_tcb_dual_smallest_l2_core;
+    Alcotest.test_case "tcb: stack quarantined in dual" `Quick test_tcb_stack_outside_dual_core;
+  ]

@@ -1,0 +1,322 @@
+(* Storage generalisation (§3.3 / E9): block layer over the safe ring,
+   file layer in both protection modes, and the attack contrasts. *)
+
+open Cio_storage
+
+let make_dev () = Blockdev.create ~name:"test-disk" ~blocks:64 ()
+
+let test_block_write_read () =
+  let dev, _ = make_dev () in
+  let data = Bytes.make Blockdev.block_size 'D' in
+  (match Blockdev.write_block dev ~lba:3 data with
+  | Blockdev.Write_ok -> ()
+  | _ -> Alcotest.fail "write failed");
+  match Blockdev.read_block dev ~lba:3 with
+  | Blockdev.Data got -> Helpers.check_bytes "block content" data got
+  | _ -> Alcotest.fail "read failed"
+
+let test_block_out_of_range () =
+  let dev, _ = make_dev () in
+  match Blockdev.read_block dev ~lba:999 with
+  | Blockdev.Failed _ -> ()
+  | _ -> Alcotest.fail "out-of-range lba must fail"
+
+let test_block_lie_len_rejected_by_codec () =
+  let dev, disk = make_dev () in
+  ignore (Blockdev.write_block dev ~lba:0 (Bytes.make 512 'x'));
+  Blockdev.disk_inject disk Blockdev.Lie_response_len;
+  match Blockdev.read_block dev ~lba:0 with
+  | Blockdev.Failed "malformed response" -> ()
+  | Blockdev.Failed e -> Alcotest.fail ("unexpected failure: " ^ e)
+  | _ -> Alcotest.fail "length lie must be rejected by the stateless codec"
+
+let test_file_roundtrip_plain () =
+  let dev, _ = make_dev () in
+  let fs = File.create ~dev ~mode:File.Plain in
+  let content = Bytes.init 10_000 (fun i -> Char.chr ((i * 13) land 0xFF)) in
+  (match File.write_file fs ~name:"data.bin" content with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (File.error_to_string e));
+  match File.read_file fs ~name:"data.bin" with
+  | Ok got -> Helpers.check_bytes "content" content got
+  | Error e -> Alcotest.fail (File.error_to_string e)
+
+let sealed_fs dev = File.create ~dev ~mode:(File.Sealed (Bytes.make 32 'K'))
+
+let test_file_roundtrip_sealed () =
+  let dev, _ = make_dev () in
+  let fs = sealed_fs dev in
+  let content = Bytes.init 20_000 (fun i -> Char.chr ((i * 7) land 0xFF)) in
+  (match File.write_file fs ~name:"sealed.bin" content with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (File.error_to_string e));
+  match File.read_file fs ~name:"sealed.bin" with
+  | Ok got -> Helpers.check_bytes "content" content got
+  | Error e -> Alcotest.fail (File.error_to_string e)
+
+let test_file_replace_semantics () =
+  let dev, _ = make_dev () in
+  let fs = File.create ~dev ~mode:File.Plain in
+  ignore (File.write_file fs ~name:"f" (Bytes.of_string "version-1"));
+  ignore (File.write_file fs ~name:"f" (Bytes.of_string "v2"));
+  (match File.read_file fs ~name:"f" with
+  | Ok got -> Helpers.check_bytes "latest version" (Bytes.of_string "v2") got
+  | Error e -> Alcotest.fail (File.error_to_string e));
+  Alcotest.(check int) "one directory entry" 1 (List.length (File.list_files fs))
+
+let test_file_delete_frees_blocks () =
+  let dev, _ = make_dev () in
+  let fs = File.create ~dev ~mode:File.Plain in
+  (* Fill most of the disk, delete, then fill again: blocks must recycle. *)
+  let big = Bytes.make (50 * Blockdev.block_size) 'b' in
+  (match File.write_file fs ~name:"big" big with Ok () -> () | Error e -> Alcotest.fail (File.error_to_string e));
+  (match File.delete fs "big" with Ok () -> () | Error _ -> Alcotest.fail "delete");
+  match File.write_file fs ~name:"big2" big with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("blocks not recycled: " ^ File.error_to_string e)
+
+let test_file_not_found () =
+  let dev, _ = make_dev () in
+  let fs = File.create ~dev ~mode:File.Plain in
+  match File.read_file fs ~name:"ghost" with
+  | Error File.Not_found_ -> ()
+  | _ -> Alcotest.fail "missing file must report not found"
+
+let test_no_space () =
+  let dev, _ = make_dev () in
+  let fs = File.create ~dev ~mode:File.Plain in
+  match File.write_file fs ~name:"huge" (Bytes.make (100 * Blockdev.block_size) 'x') with
+  | Error File.No_space -> ()
+  | _ -> Alcotest.fail "over-capacity write must fail with No_space"
+
+(* --- the E9 attack contrast ------------------------------------------- *)
+
+let test_corruption_silent_in_plain_mode () =
+  let dev, disk = make_dev () in
+  let fs = File.create ~dev ~mode:File.Plain in
+  let content = Bytes.make 1000 'p' in
+  ignore (File.write_file fs ~name:"f" content);
+  Blockdev.disk_inject disk Blockdev.Corrupt_block;
+  match File.read_file fs ~name:"f" with
+  | Ok got ->
+      (* Accepted without complaint — and wrong. The lift-and-shift
+         failure mode. *)
+      Alcotest.(check bool) "silently wrong" false (Bytes.equal got content)
+  | Error _ -> Alcotest.fail "plain mode has no way to detect this"
+
+let test_corruption_detected_in_sealed_mode () =
+  let dev, disk = make_dev () in
+  let fs = sealed_fs dev in
+  ignore (File.write_file fs ~name:"f" (Bytes.make 1000 's'));
+  Blockdev.disk_inject disk Blockdev.Corrupt_block;
+  match File.read_file fs ~name:"f" with
+  | Error (File.Integrity _) -> ()
+  | Ok _ -> Alcotest.fail "sealed mode must detect corruption"
+  | Error e -> Alcotest.fail ("wrong error: " ^ File.error_to_string e)
+
+let test_remap_detected_in_sealed_mode () =
+  let dev, disk = make_dev () in
+  let fs = sealed_fs dev in
+  ignore (File.write_file fs ~name:"a" (Bytes.make 1000 'a'));
+  ignore (File.write_file fs ~name:"b" (Bytes.make 1000 'b'));
+  Blockdev.disk_inject disk Blockdev.Wrong_lba;
+  (* The response claims a different lba; the lba-bound AAD kills it. *)
+  match File.read_file fs ~name:"a" with
+  | Error (File.Integrity _) -> ()
+  | Ok _ -> Alcotest.fail "remap must be detected"
+  | Error e -> Alcotest.fail ("wrong error: " ^ File.error_to_string e)
+
+let test_rollback_detected_in_sealed_mode () =
+  let dev, _ = make_dev () in
+  let fs = sealed_fs dev in
+  ignore (File.write_file fs ~name:"f" (Bytes.of_string "version-one-content"));
+  (* Capture the sealed block, overwrite the file, then roll the disk
+     back to the captured block: stale-but-authentic data. *)
+  let disk_region_snapshot = Blockdev.read_block dev ~lba:0 in
+  ignore (File.write_file fs ~name:"f" (Bytes.of_string "version-two-content"));
+  (match disk_region_snapshot with
+  | Blockdev.Data old_block -> ignore (Blockdev.write_block dev ~lba:1 old_block)
+  | _ -> ());
+  (* Version-two landed on a fresh block; force a rollback by rewriting
+     its block with the version-one ciphertext. *)
+  (match (File.list_files fs, disk_region_snapshot) with
+  | _, Blockdev.Data old_block ->
+      (* Find version-two's block: it is whichever block the inode holds;
+         easiest honest rollback: write old ciphertext over every block. *)
+      for lba = 0 to 7 do
+        ignore (Blockdev.write_block dev ~lba old_block)
+      done
+  | _ -> ());
+  match File.read_file fs ~name:"f" with
+  | Error (File.Integrity _) -> ()
+  | Ok got ->
+      Alcotest.(check bool) "if accepted it must be current" true
+        (Bytes.equal got (Bytes.of_string "version-two-content"))
+  | Error e -> Alcotest.fail ("wrong error: " ^ File.error_to_string e)
+
+let test_sealed_write_read_many_files () =
+  let dev, _ = make_dev () in
+  let fs = sealed_fs dev in
+  let files = List.init 10 (fun i -> (Printf.sprintf "file-%d" i, Bytes.make (500 * (i + 1)) (Char.chr (65 + i)))) in
+  List.iter
+    (fun (name, content) ->
+      match File.write_file fs ~name content with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (File.error_to_string e))
+    files;
+  List.iter
+    (fun (name, content) ->
+      match File.read_file fs ~name with
+      | Ok got -> Helpers.check_bytes name content got
+      | Error e -> Alcotest.fail (File.error_to_string e))
+    files
+
+let prop_sealed_roundtrip =
+  QCheck.Test.make ~name:"sealed file roundtrip, arbitrary sizes" ~count:50
+    QCheck.(string_of_size Gen.(int_range 0 20_000))
+    (fun content ->
+      let dev, _ = make_dev () in
+      let fs = sealed_fs dev in
+      match File.write_file fs ~name:"p" (Bytes.of_string content) with
+      | Error _ -> String.length content > 50 * Blockdev.block_size
+      | Ok () -> (
+          match File.read_file fs ~name:"p" with
+          | Ok got -> String.equal (Bytes.to_string got) content
+          | Error _ -> false))
+
+(* --- dual_store: the full ternary model ---------------------------------- *)
+
+let make_store () =
+  let dev, disk = make_dev () in
+  (Dual_store.create ~dev ~key:(Bytes.make 32 'K') (), disk)
+
+let test_dual_store_roundtrip () =
+  let store, _ = make_store () in
+  let content = Bytes.init 9_000 (fun i -> Char.chr ((i * 3) land 0xFF)) in
+  (match Dual_store.write_file store ~name:"doc" content with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Dual_store.error_to_string e));
+  match Dual_store.read_file store ~name:"doc" with
+  | Ok got -> Helpers.check_bytes "content" content got
+  | Error e -> Alcotest.fail (Dual_store.error_to_string e)
+
+let test_dual_store_gates_charged () =
+  let store, _ = make_store () in
+  ignore (Dual_store.write_file store ~name:"f" (Bytes.make 100 'x'));
+  ignore (Dual_store.read_file store ~name:"f");
+  Alcotest.(check int) "one gate per operation" 2 (Dual_store.crossings store)
+
+let test_dual_store_disk_never_sees_plaintext () =
+  let dev, _disk = make_dev () in
+  let store = Dual_store.create ~dev ~key:(Bytes.make 32 'K') () in
+  let secret = "the-secret-ledger-entry-0xFEED" in
+  ignore (Dual_store.write_file store ~name:"ledger" (Bytes.of_string secret));
+  (* Read every block back raw (as the host could) and scan. *)
+  let found = ref false in
+  for lba = 0 to Blockdev.blocks dev - 1 do
+    match Blockdev.read_block dev ~lba with
+    | Blockdev.Data b ->
+        let s = Bytes.to_string b in
+        let n = String.length s and c = String.length secret in
+        let rec go i = i + c <= n && (String.equal (String.sub s i c) secret || go (i + 1)) in
+        if go 0 then found := true
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "plaintext never reaches the disk" false !found
+
+let test_dual_store_wrong_file_swap_detected () =
+  (* The quarantined file layer (or host) serves file B when asked for A:
+     the name-bound AAD kills it. *)
+  let dev, _ = make_dev () in
+  let store = Dual_store.create ~dev ~key:(Bytes.make 32 'K') () in
+  ignore (Dual_store.write_file store ~name:"A" (Bytes.make 500 'a'));
+  ignore (Dual_store.write_file store ~name:"B" (Bytes.make 500 'b'));
+  (* Simulate the swap below the app: copy B's sealed block over A's
+     (a host-level block copy). *)
+  (match Blockdev.read_block dev ~lba:1 with
+  | Blockdev.Data b_sealed -> ignore (Blockdev.write_block dev ~lba:0 b_sealed)
+  | _ -> ());
+  match Dual_store.read_file store ~name:"A" with
+  | Error (Dual_store.Integrity _) -> ()
+  | Ok got ->
+      (* If the copy landed elsewhere the read may still succeed — but it
+         must then be the genuine A. *)
+      Helpers.check_bytes "if accepted, must be genuine A" (Bytes.make 500 'a') got
+  | Error e -> Alcotest.fail (Dual_store.error_to_string e)
+
+let test_dual_store_rollback_detected () =
+  let dev, _ = make_dev () in
+  let store = Dual_store.create ~dev ~key:(Bytes.make 32 'K') () in
+  ignore (Dual_store.write_file store ~name:"f" (Bytes.of_string "version-1"));
+  (* Capture v1's sealed block, overwrite the file, roll the block back. *)
+  let v1_block = Blockdev.read_block dev ~lba:0 in
+  ignore (Dual_store.write_file store ~name:"f" (Bytes.of_string "version-2"));
+  (match v1_block with
+  | Blockdev.Data b ->
+      for lba = 0 to 4 do
+        ignore (Blockdev.write_block dev ~lba b)
+      done
+  | _ -> ());
+  match Dual_store.read_file store ~name:"f" with
+  | Error (Dual_store.Integrity _) -> ()
+  | Ok got -> Helpers.check_bytes "if accepted, must be current" (Bytes.of_string "version-2") got
+  | Error e -> Alcotest.fail (Dual_store.error_to_string e)
+
+let test_dual_store_rogue_domain_denied () =
+  let store, _ = make_store () in
+  match Dual_store.rogue_store_reads_app_memory store with
+  | `Denied -> ()
+  | `Leaked -> Alcotest.fail "storage domain must not reach app memory"
+
+let test_dual_store_access_pattern_visible () =
+  (* The residual channel: distinct files produce distinct block traces
+     even though all contents are sealed. *)
+  let dev, disk = make_dev () in
+  let store = Dual_store.create ~dev ~key:(Bytes.make 32 'K') () in
+  ignore (Dual_store.write_file store ~name:"A" (Bytes.make 9000 'a'));
+  ignore (Dual_store.write_file store ~name:"B" (Bytes.make 9000 'b'));
+  Blockdev.disk_clear_log disk;
+  ignore (Dual_store.read_file store ~name:"A");
+  let trace_a = List.map snd (Blockdev.disk_access_log disk) in
+  Blockdev.disk_clear_log disk;
+  ignore (Dual_store.read_file store ~name:"B");
+  let trace_b = List.map snd (Blockdev.disk_access_log disk) in
+  Alcotest.(check bool) "traces nonempty" true (trace_a <> [] && trace_b <> []);
+  Alcotest.(check bool) "traces distinguish the files" true (trace_a <> trace_b)
+
+let test_dual_store_delete () =
+  let store, _ = make_store () in
+  ignore (Dual_store.write_file store ~name:"gone" (Bytes.make 10 'x'));
+  (match Dual_store.delete store ~name:"gone" with Ok () -> () | Error e -> Alcotest.fail (Dual_store.error_to_string e));
+  match Dual_store.read_file store ~name:"gone" with
+  | Error (Dual_store.Store_error File.Not_found_) -> ()
+  | _ -> Alcotest.fail "deleted file must be gone"
+
+let suite =
+  [
+    Alcotest.test_case "block: write/read" `Quick test_block_write_read;
+    Alcotest.test_case "block: out of range" `Quick test_block_out_of_range;
+    Alcotest.test_case "block: length lie rejected" `Quick test_block_lie_len_rejected_by_codec;
+    Alcotest.test_case "file: roundtrip (plain)" `Quick test_file_roundtrip_plain;
+    Alcotest.test_case "file: roundtrip (sealed)" `Quick test_file_roundtrip_sealed;
+    Alcotest.test_case "file: replace semantics" `Quick test_file_replace_semantics;
+    Alcotest.test_case "file: delete recycles blocks" `Quick test_file_delete_frees_blocks;
+    Alcotest.test_case "file: not found" `Quick test_file_not_found;
+    Alcotest.test_case "file: no space" `Quick test_no_space;
+    Alcotest.test_case "E9: corruption silent in plain" `Quick test_corruption_silent_in_plain_mode;
+    Alcotest.test_case "E9: corruption detected sealed" `Quick test_corruption_detected_in_sealed_mode;
+    Alcotest.test_case "E9: remap detected sealed" `Quick test_remap_detected_in_sealed_mode;
+    Alcotest.test_case "E9: rollback detected sealed" `Quick test_rollback_detected_in_sealed_mode;
+    Alcotest.test_case "file: many sealed files" `Quick test_sealed_write_read_many_files;
+    Alcotest.test_case "dual store: roundtrip" `Quick test_dual_store_roundtrip;
+    Alcotest.test_case "dual store: gates charged" `Quick test_dual_store_gates_charged;
+    Alcotest.test_case "dual store: no plaintext on disk" `Quick
+      test_dual_store_disk_never_sees_plaintext;
+    Alcotest.test_case "dual store: file swap detected" `Quick test_dual_store_wrong_file_swap_detected;
+    Alcotest.test_case "dual store: rollback detected" `Quick test_dual_store_rollback_detected;
+    Alcotest.test_case "dual store: rogue domain denied" `Quick test_dual_store_rogue_domain_denied;
+    Alcotest.test_case "dual store: access pattern visible (E18)" `Quick
+      test_dual_store_access_pattern_visible;
+    Alcotest.test_case "dual store: delete" `Quick test_dual_store_delete;
+    Helpers.qtest prop_sealed_roundtrip;
+  ]
