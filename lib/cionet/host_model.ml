@@ -18,11 +18,15 @@ type misbehavior =
   | Race_header of int      (* rewrite len when the guest reads the header *)
   | Corrupt_payload
   | Replay_slot             (* republish the previous message once more *)
+  | Stall of int            (* stop servicing the device for n polls *)
+  | Silent_drop of int      (* discard the next n delivered RX frames *)
+  | Ring_freeze of int      (* keep draining TX but withhold RX for n polls *)
 
 type stats = {
   mutable tx_forwarded : int;
   mutable rx_injected : int;
   mutable faults : int;  (* host accesses refused by memory protection *)
+  mutable rx_dropped : int;  (* frames silently discarded (Silent_drop) *)
 }
 
 type t = {
@@ -32,6 +36,13 @@ type t = {
   pending_rx : bytes Queue.t;
   mutable misbehaviors : misbehavior list;
   mutable last_frame : bytes option;
+  (* Modal faults: unlike the one-shot header sabotage, these describe a
+     host *condition* that persists for a counted number of polls/frames.
+     A stalled or frozen host is indistinguishable from a dead one to the
+     guest, which is exactly what the driver watchdog must handle. *)
+  mutable stall_polls : int;
+  mutable freeze_polls : int;
+  mutable drop_frames : int;
   stats : stats;
 }
 
@@ -43,7 +54,10 @@ let create ~(driver : Driver.t) ~transmit =
     pending_rx = Queue.create ();
     misbehaviors = [];
     last_frame = None;
-    stats = { tx_forwarded = 0; rx_injected = 0; faults = 0 };
+    stall_polls = 0;
+    freeze_polls = 0;
+    drop_frames = 0;
+    stats = { tx_forwarded = 0; rx_injected = 0; faults = 0; rx_dropped = 0 };
   }
 
 (* After a hot swap the old rings are revoked; the host re-attaches to the
@@ -53,7 +67,16 @@ let reattach t ~(driver : Driver.t) =
   t.driver_rx <- Driver.rx_ring driver
 
 let stats t = t.stats
-let inject t m = t.misbehaviors <- t.misbehaviors @ [ m ]
+
+let inject t m =
+  match m with
+  | Stall n -> t.stall_polls <- t.stall_polls + max 0 n
+  | Silent_drop n -> t.drop_frames <- t.drop_frames + max 0 n
+  | Ring_freeze n -> t.freeze_polls <- t.freeze_polls + max 0 n
+  | _ -> t.misbehaviors <- t.misbehaviors @ [ m ]
+
+let stalled t = t.stall_polls > 0
+let frozen t = t.freeze_polls > 0
 
 let take t pred =
   let rec go acc = function
@@ -125,6 +148,12 @@ let sabotage t =
       | _ -> ())
 
 let poll t =
+  if t.stall_polls > 0 then
+    (* A stalled host services nothing: TX backs up, RX starves. The
+       guest-side watchdog is the only way out — the stateless interface
+       means its reset loses nothing the transport cannot replay. *)
+    t.stall_polls <- t.stall_polls - 1
+  else begin
   (* TX direction: drain the guest's ring and forward. *)
   let rec drain_tx () =
     match Ring.try_consume t.driver_tx with
@@ -138,7 +167,16 @@ let poll t =
   drain_tx ();
   (* RX direction: push pending frames into the guest's RX ring. *)
   let rec fill_rx () =
-    if not (Queue.is_empty t.pending_rx) then begin
+    if t.drop_frames > 0 && not (Queue.is_empty t.pending_rx) then begin
+      (* Silent drop: the frame vanishes without any ring activity, as if
+         the wire had eaten it. Nothing to detect at L2; TCP's timers own
+         this failure. *)
+      ignore (Queue.take t.pending_rx);
+      t.drop_frames <- t.drop_frames - 1;
+      t.stats.rx_dropped <- t.stats.rx_dropped + 1;
+      fill_rx ()
+    end
+    else if not (Queue.is_empty t.pending_rx) then begin
       let frame = Queue.peek t.pending_rx in
       let frame =
         match take t (function Corrupt_payload -> true | _ -> false) with
@@ -171,6 +209,12 @@ let poll t =
           ignore (Queue.take t.pending_rx)
     end
   in
-  fill_rx ()
+  if t.freeze_polls > 0 then
+    (* Ring freeze: the host still drains TX (the guest sees forward
+       progress on sends) but the RX ring goes quiet — a one-directional
+       stall that only an RX-aware watchdog deadline catches. *)
+    t.freeze_polls <- t.freeze_polls - 1
+  else fill_rx ()
+  end
 
 let pending_rx_count t = Queue.length t.pending_rx

@@ -9,11 +9,15 @@ type misbehavior =
   | Race_header of int
   | Corrupt_payload
   | Replay_slot
+  | Stall of int  (** stop servicing the device (both directions) for [n] polls *)
+  | Silent_drop of int  (** discard the next [n] delivered RX frames without ring activity *)
+  | Ring_freeze of int  (** keep draining TX but produce nothing into RX for [n] polls *)
 
 type stats = {
   mutable tx_forwarded : int;
   mutable rx_injected : int;
   mutable faults : int;
+  mutable rx_dropped : int;
 }
 
 type t
@@ -24,7 +28,14 @@ val reattach : t -> driver:Driver.t -> unit
 (** Re-attach to a driver after {!Driver.hot_swap}. *)
 
 val stats : t -> stats
+
 val inject : t -> misbehavior -> unit
+(** Header/payload sabotage queues one-shot; [Stall]/[Silent_drop]/
+    [Ring_freeze] extend the corresponding modal fault duration. *)
+
+val stalled : t -> bool
+val frozen : t -> bool
+
 val deliver_rx : t -> bytes -> unit
 
 val poll : t -> unit

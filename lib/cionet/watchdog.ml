@@ -1,0 +1,98 @@
+(* Driver watchdog: the statelessness payoff turned into a recovery loop.
+
+   The guest cannot trust the host to service the device — a stalled,
+   frozen, or crashed device model looks exactly like a dead one. Because
+   the cionet interface is stateless and zero-negotiation, the cure is
+   always the same and always safe: bump the generation, revoke the old
+   region wholesale, and stand up fresh rings (Driver.hot_swap). Nothing
+   is negotiated or replayed across the reset, so a false positive costs
+   only the reset itself; TCP and the L5 record layer absorb the cable
+   pull either way.
+
+   Detection is deadline-based in counted polls, per direction:
+
+   - TX deadline: the guest has produced frames the host has not consumed
+     and the host-consumed cursor is not advancing.
+   - RX deadline: the caller declares it is waiting for inbound data
+     (e.g. a request is outstanding) and the host-produced cursor is not
+     advancing. This is what catches a one-directional ring freeze.
+
+   Consecutive resets without intervening progress back off
+   exponentially, so a long host outage costs a handful of resets, not a
+   reset per budget. *)
+
+type t = {
+  driver : Driver.t;
+  poll_budget : int;
+  max_backoff : int;
+  on_reset : unit -> unit;
+  recovery : Cio_observe.Recovery.t;
+  mutable last_tx_consumed : int;
+  mutable last_rx_produced : int;
+  mutable tx_idle : int;
+  mutable rx_idle : int;
+  mutable backoff : int;  (* budget multiplier; doubles per consecutive reset *)
+  mutable stalls_detected : int;
+  mutable resets : int;
+}
+
+let create ?(poll_budget = 2048) ?(max_backoff = 32) ?recovery ?(on_reset = fun () -> ())
+    driver =
+  {
+    driver;
+    poll_budget = max 1 poll_budget;
+    max_backoff = max 1 max_backoff;
+    on_reset;
+    recovery =
+      (match recovery with Some r -> r | None -> Cio_observe.Recovery.create ());
+    last_tx_consumed = 0;
+    last_rx_produced = 0;
+    tx_idle = 0;
+    rx_idle = 0;
+    backoff = 1;
+    stalls_detected = 0;
+    resets = 0;
+  }
+
+let stalls_detected t = t.stalls_detected
+let resets t = t.resets
+let current_backoff t = t.backoff
+
+let budget t = t.poll_budget * t.backoff
+
+let reset_now t =
+  t.stalls_detected <- t.stalls_detected + 1;
+  Cio_observe.Recovery.stall_detected t.recovery;
+  Driver.hot_swap t.driver;
+  t.resets <- t.resets + 1;
+  Cio_observe.Recovery.reset t.recovery;
+  (* Fresh rings: every cursor is back at zero. *)
+  t.last_tx_consumed <- 0;
+  t.last_rx_produced <- 0;
+  t.tx_idle <- 0;
+  t.rx_idle <- 0;
+  t.backoff <- min (t.backoff * 2) t.max_backoff;
+  t.on_reset ()
+
+(* One observation per driver poll quantum. [expecting_rx] is the upper
+   layer's statement that inbound data is owed (a request in flight); the
+   watchdog cannot infer that from the rings alone. *)
+let tick ?(expecting_rx = false) t =
+  let txc = (Ring.counters (Driver.tx_ring t.driver)).Ring.consumed in
+  let rxc = (Ring.counters (Driver.rx_ring t.driver)).Ring.produced in
+  let tx_outstanding =
+    (Ring.counters (Driver.tx_ring t.driver)).Ring.produced > txc
+  in
+  let progress = txc > t.last_tx_consumed || rxc > t.last_rx_produced in
+  if progress then begin
+    t.tx_idle <- 0;
+    t.rx_idle <- 0;
+    t.backoff <- 1
+  end
+  else begin
+    if tx_outstanding then t.tx_idle <- t.tx_idle + 1 else t.tx_idle <- 0;
+    if expecting_rx then t.rx_idle <- t.rx_idle + 1 else t.rx_idle <- 0
+  end;
+  t.last_tx_consumed <- txc;
+  t.last_rx_produced <- rxc;
+  if t.tx_idle >= budget t || t.rx_idle >= budget t then reset_now t

@@ -1,0 +1,32 @@
+(** Driver watchdog: poll-budget deadlines per ring direction, exponential
+    backoff, and automatic generation-bumping reset ({!Driver.hot_swap})
+    when the host stops servicing the device. *)
+
+type t
+
+val create :
+  ?poll_budget:int ->
+  ?max_backoff:int ->
+  ?recovery:Cio_observe.Recovery.t ->
+  ?on_reset:(unit -> unit) ->
+  Driver.t ->
+  t
+(** [poll_budget] is the deadline in observation ticks without progress
+    (default 2048); [max_backoff] caps the exponential budget multiplier
+    (default 32). [on_reset] runs after each {!Driver.hot_swap} — in the
+    simulator it re-attaches the host model; in deployment the host
+    notices the generation bump itself. *)
+
+val tick : ?expecting_rx:bool -> t -> unit
+(** One observation per driver poll quantum. The TX deadline arms itself
+    whenever produced-but-unconsumed TX frames exist; the RX deadline only
+    counts while [expecting_rx] (the caller knows a response is owed). *)
+
+val stalls_detected : t -> int
+val resets : t -> int
+
+val current_backoff : t -> int
+(** Current budget multiplier (1 after any progress). *)
+
+val budget : t -> int
+(** Effective deadline in ticks, i.e. poll budget x current backoff. *)

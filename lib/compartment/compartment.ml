@@ -19,10 +19,17 @@ open Cio_util
 
 exception Access_violation of string
 
-type domain = { id : int; dname : string }
+type domain = {
+  id : int;
+  dname : string;
+  mutable alive : bool;
+  mutable incarnation : int;  (* bumped on every restart *)
+}
 
 let domain_name d = d.dname
 let domain_id d = d.id
+let domain_alive d = d.alive
+let domain_incarnation d = d.incarnation
 
 type crossing = Gate | Tee_switch
 
@@ -36,7 +43,13 @@ type buf = {
   mutable freed : bool;
 }
 
-type counters = { mutable crossings : int; mutable allocs : int; mutable denied : int }
+type counters = {
+  mutable crossings : int;
+  mutable allocs : int;
+  mutable denied : int;
+  mutable crashes : int;
+  mutable restarts : int;
+}
 
 type t = {
   model : Cost.model;
@@ -56,17 +69,35 @@ let create ?(model = Cost.default) ?meter ~crossing () =
     domains = [];
     next_domain = 0;
     next_buf = 0;
-    counters = { crossings = 0; allocs = 0; denied = 0 };
+    counters = { crossings = 0; allocs = 0; denied = 0; crashes = 0; restarts = 0 };
   }
 
 let meter t = t.meter
 let counters t = t.counters
 
 let add_domain t ~name =
-  let d = { id = t.next_domain; dname = name } in
+  let d = { id = t.next_domain; dname = name; alive = true; incarnation = 0 } in
   t.next_domain <- t.next_domain + 1;
   t.domains <- d :: t.domains;
   d
+
+(* Crash containment (§3.1's quarantine made operational): a crashed
+   domain can neither be entered nor touch any buffer — its grants are
+   dead capabilities until a restart stands up a fresh incarnation. The
+   crash is contained by construction: nothing the dead domain owned is
+   reachable *from* it, and peers merely observe refused calls. *)
+let crash_domain t d =
+  if d.alive then begin
+    d.alive <- false;
+    t.counters.crashes <- t.counters.crashes + 1
+  end
+
+let restart_domain t d =
+  if not d.alive then begin
+    d.alive <- true;
+    d.incarnation <- d.incarnation + 1;
+    t.counters.restarts <- t.counters.restarts + 1
+  end
 
 let crossing_cost t =
   match t.crossing with
@@ -80,8 +111,16 @@ let charge_crossing t =
   t.counters.crossings <- t.counters.crossings + 1;
   Cost.charge t.meter Cost.Gate (2 * crossing_cost t)
 
+let require_alive t d ~doing =
+  if not d.alive then begin
+    t.counters.denied <- t.counters.denied + 1;
+    raise (Access_violation (Printf.sprintf "%s: %s refused, domain crashed" d.dname doing))
+  end
+
 (* A cross-domain call: entry and exit each pay the boundary cost. *)
 let call t ~caller ~callee f =
+  require_alive t caller ~doing:"call";
+  require_alive t callee ~doing:"entry";
   if caller.id = callee.id then f ()
   else begin
     t.counters.crossings <- t.counters.crossings + 1;
@@ -122,6 +161,7 @@ let free _t b = b.freed <- true
 let buf_size b = Bytes.length b.data
 
 let check_access t ~as_ b ~write =
+  require_alive t as_ ~doing:"memory access";
   if b.freed then begin
     t.counters.denied <- t.counters.denied + 1;
     raise (Access_violation (Printf.sprintf "%s: use after free of buffer %d" as_.dname b.b_id))

@@ -11,11 +11,22 @@ type domain
 val domain_name : domain -> string
 val domain_id : domain -> int
 
+val domain_alive : domain -> bool
+
+val domain_incarnation : domain -> int
+(** 0 at creation; bumped by every {!restart_domain}. *)
+
 type crossing = Gate | Tee_switch
 
 type buf
 
-type counters = { mutable crossings : int; mutable allocs : int; mutable denied : int }
+type counters = {
+  mutable crossings : int;
+  mutable allocs : int;
+  mutable denied : int;
+  mutable crashes : int;
+  mutable restarts : int;
+}
 
 type t
 
@@ -24,6 +35,15 @@ val meter : t -> Cost.meter
 val counters : t -> counters
 
 val add_domain : t -> name:string -> domain
+
+val crash_domain : t -> domain -> unit
+(** Kill a domain: every call into or out of it, and every memory access
+    it attempts, raises {!Access_violation} until {!restart_domain}. *)
+
+val restart_domain : t -> domain -> unit
+(** Revive a crashed domain as a fresh incarnation. State the old
+    incarnation held (e.g. TCP connections) is gone; the caller rebuilds
+    it — see [Dual.restart_io]. *)
 
 val call : t -> caller:domain -> callee:domain -> (unit -> 'a) -> 'a
 (** Cross-domain call: entry and exit each pay the boundary cost.

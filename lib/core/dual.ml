@@ -22,14 +22,18 @@ type t = {
   app : Compartment.domain;
   io : Compartment.domain;
   driver : Cio_cionet.Driver.t;
-  stack : Stack.t;
+  mutable stack : Stack.t;
   meter : Cost.meter;
   model : Cost.model;
+  ip : Cio_frame.Addr.ipv4;
+  neighbors : (Cio_frame.Addr.ipv4 * Cio_frame.Addr.mac) list;
+  now : unit -> int64;
   psk : bytes;
   psk_id : string;
   rng : Rng.t;
   zero_copy_send : bool;
   copy_on_recv : bool;
+  recovery : Cio_observe.Recovery.t;
   mutable channels : Channel.t list;
 }
 
@@ -60,11 +64,15 @@ let create ?(cionet_config = Cio_cionet.Config.default) ?mac ?(model = Cost.defa
     stack;
     meter;
     model;
+    ip;
+    neighbors;
+    now;
     psk;
     psk_id;
     rng;
     zero_copy_send;
     copy_on_recv;
+    recovery = Cio_observe.Recovery.create ();
     channels = [];
   }
 
@@ -75,6 +83,31 @@ let world t = t.world
 let app_domain t = t.app
 let io_domain t = t.io
 let crossings t = (Compartment.counters t.world).Compartment.crossings
+let recovery t = t.recovery
+let io_alive t = Compartment.domain_alive t.io
+
+(* I/O-stack death and rebirth — the ternary trust model's recovery
+   story. The quarantined stack crashing (or being killed because the
+   host drove it somewhere untrustworthy) loses only I/O state: TCP
+   connections, reassembly buffers, ring cursors. The app's secrets sit
+   behind the L5 TLS boundary in a different domain, so nothing leaks —
+   and because the L2 interface is stateless and the TLS resumption is a
+   fresh PSK handshake (zero renegotiation: no session state to migrate),
+   recovery is mechanical: new rings, new stack, new TCP connection, new
+   session. *)
+let crash_io t = Compartment.crash_domain t.world t.io
+
+let restart_io t =
+  if not (Compartment.domain_alive t.io) then Compartment.restart_domain t.world t.io;
+  (* The old instance's shared region is revoked wholesale; the dead
+     stack's connections are unreachable garbage. *)
+  Cio_cionet.Driver.hot_swap t.driver;
+  Cio_observe.Recovery.reset t.recovery;
+  t.channels <- [];
+  t.stack <-
+    Stack.create ~model:t.model ~meter:t.meter
+      ~netif:(Cio_cionet.Driver.to_netif t.driver)
+      ~ip:t.ip ~neighbors:t.neighbors ~now:t.now ~rng:t.rng ()
 
 let make_channel t ~role ~conn =
   let session =
@@ -93,6 +126,16 @@ let connect t ~dst ~dst_port =
   let ch = make_channel t ~role:Session.Client ~conn in
   match Channel.start_handshake ch with Ok () -> ch | Error _ -> ch
 
+(* Replace a dead channel: same destination, fresh TCP connection, fresh
+   PSK session. TLS failures are fail-closed and poison the session, so
+   this is the *only* way forward after tampering or a stack restart —
+   exactly the paper's zero-renegotiation stance. *)
+let reconnect t ch =
+  let dst, dst_port = Tcp.conn_remote (Channel.conn ch) in
+  t.channels <- List.filter (fun c -> c != ch) t.channels;
+  Cio_observe.Recovery.reconnect t.recovery;
+  connect t ~dst ~dst_port
+
 let listen t ~port =
   { tcp_listener = enter_io t (fun () -> Tcp.listen (Stack.tcp t.stack) ~port ()); unit_ = t }
 
@@ -109,8 +152,13 @@ let accept l =
    *data handoff* between the app and the I/O domain, which is what the
    paper's latency argument is about. *)
 let poll t =
-  Stack.poll t.stack;
-  List.iter
-    (fun ch -> if Channel.io_pump ch then Compartment.charge_crossing t.world)
-    t.channels;
-  List.iter Channel.app_pump t.channels
+  (* Crash containment: with the I/O domain dead, its polling loop simply
+     does not run. The app side keeps scheduling (and its data stays
+     sealed); there is nothing below L5 to talk to until restart_io. *)
+  if Compartment.domain_alive t.io then begin
+    Stack.poll t.stack;
+    List.iter
+      (fun ch -> if Channel.io_pump ch then Compartment.charge_crossing t.world)
+      t.channels;
+    List.iter Channel.app_pump t.channels
+  end

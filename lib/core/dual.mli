@@ -37,7 +37,26 @@ val app_domain : t -> Compartment.domain
 val io_domain : t -> Compartment.domain
 val crossings : t -> int
 
+val recovery : t -> Cio_observe.Recovery.t
+(** Fault/recovery counters (resets, reconnects) for this unit. *)
+
+val io_alive : t -> bool
+
+val crash_io : t -> unit
+(** Kill the quarantined I/O-stack domain. {!poll} becomes a no-op below
+    L5; the app domain and its sealed data are untouched. *)
+
+val restart_io : t -> unit
+(** Stand the I/O stack back up: fresh device instance (generation bump,
+    old region revoked — the host must re-attach), fresh TCP stack, and
+    an empty channel list. Existing channels are dead; use {!reconnect}. *)
+
 val connect : t -> dst:Addr.ipv4 -> dst_port:int -> Channel.t
+
+val reconnect : t -> Channel.t -> Channel.t
+(** Replace a failed channel: same destination, new TCP connection, new
+    PSK session (TLS is fail-closed; there is no renegotiation). *)
+
 val listen : t -> port:int -> listener
 val accept : listener -> Channel.t option
 

@@ -775,12 +775,48 @@ let e15 ppf () =
   fp ppf "  between formats, which is §2.5's argument that broad standards multiply@.";
   fp ppf "  the retrofit burden.@."
 
-(* --- E16: decomposition ablation --------------------------------------------- *)
+(* --- E16: fault-injection campaigns and the self-healing datapath ------------- *)
+
+(* The robustness payoff of the paper's design principles, measured: a
+   deterministic, seed-driven campaign throws faults at every layer —
+   host device model (stalls, freezes, silent drops, header sabotage),
+   link adversary bursts, in-flight TLS record tampering, and a crash of
+   the quarantined I/O-stack domain — while the datapath heals itself
+   (driver watchdog + generation-bumping ring reset, TCP retransmission,
+   fail-closed PSK re-establishment, compartment restart) and the canary
+   tap certifies that no plaintext ever reached the host. *)
+let e16 ppf () =
+  let open Cio_fault in
+  fp ppf "E16: fault-injection campaigns — a self-healing datapath under a hostile host@.";
+  let seeds = [ 11L; 42L; 1337L ] in
+  let reports =
+    List.map
+      (fun seed ->
+        let plan = Plan.generate ~seed () in
+        let r = Campaign.run plan in
+        fp ppf "%a" Campaign.pp r;
+        r)
+      seeds
+  in
+  let all p = List.for_all p reports in
+  fp ppf "  verdict over %d campaigns (%d faults):@." (List.length reports)
+    (List.fold_left (fun a r -> a + List.length r.Campaign.faults) 0 reports);
+  fp ppf "    every fault detected or tolerated, datapath recovered: %s@."
+    (if all Campaign.all_recovered then "yes" else "NO");
+  fp ppf "    zero integrity failures: %s; zero canary/plaintext leaks to host: %s@."
+    (if all (fun r -> r.Campaign.integrity_failures = 0) then "yes" else "NO")
+    (if all (fun r -> r.Campaign.leaks = 0) then "yes" else "NO");
+  fp ppf "  shape: statelessness makes recovery unilateral — the watchdog can throw@.";
+  fp ppf "  the device away on a deadline because nothing is negotiated; TLS makes@.";
+  fp ppf "  it safe — stack death and record tampering end in a fresh PSK handshake,@.";
+  fp ppf "  never a renegotiation, and never plaintext below L5.@."
+
+(* --- E17: decomposition ablation --------------------------------------------- *)
 
 (* How much of the dual design's Figure-5 position comes from the safe
    transport, and how much from the boundary split? Cross the two choices. *)
-let e16 ppf () =
-  fp ppf "E16: decomposition — transport choice x boundary placement (cycles/B)@.";
+let e17 ppf () =
+  fp ppf "E17: decomposition — transport choice x boundary placement (cycles/B)@.";
   fp ppf "  %-18s %-22s %-22s@." "" "stack in core TCB" "stack quarantined";
   List.iter
     (fun transport ->
@@ -799,7 +835,7 @@ let e16 ppf () =
   fp ppf "  core TCB — the two halves of the design contribute independently and@.";
   fp ppf "  compose.@."
 
-(* --- E17: workload fingerprinting -------------------------------------------- *)
+(* --- E18: workload fingerprinting -------------------------------------------- *)
 
 (* §2.2 defines observability as what "allows the host to infer
    information about the TEE". Make that concrete: run two application
@@ -827,8 +863,8 @@ let signature_distance (m1, s1, n1) (m2, s2, n2) =
   let rel a b = if a = 0.0 && b = 0.0 then 0.0 else abs_float (a -. b) /. max a b in
   (rel m1 m2 +. rel s1 s2 +. rel n1 n2) /. 3.0
 
-let e17 ppf () =
-  fp ppf "E17: workload fingerprinting by a passive host@.";
+let e18 ppf () =
+  fp ppf "E18: workload fingerprinting by a passive host@.";
   fp ppf "  chatty = 60 x 64 B messages; bulk = 6 x 12 KiB messages@.";
   fp ppf "  %-16s %10s   (0 = indistinguishable, 1 = trivially distinguished)@."
     "config" "distance";
@@ -844,17 +880,17 @@ let e17 ppf () =
   fp ppf "  cadence-padded channel collapses the distance — the quantitative@.";
   fp ppf "  content of §2.2's observability vector.@."
 
-(* --- E18: storage access-pattern observability -------------------------------- *)
+(* --- E19: storage access-pattern observability -------------------------------- *)
 
-(* The storage twin of E17, and the reason the paper cites oblivious
+(* The storage twin of E18, and the reason the paper cites oblivious
    filesystems [3]: sealing protects *contents*, but the host still sees
    which blocks are touched. Two application behaviours — hot reads of
    file A vs hot reads of file B — remain perfectly distinguishable from
    the block-access trace alone. *)
-let e18 ppf () =
+let e19 ppf () =
   let open Cio_storage in
-  fp ppf "E18: storage access-pattern observability (sealed contents, visible pattern)@.";
-  let dev, disk = Blockdev.create ~name:"e18" ~blocks:256 () in
+  fp ppf "E19: storage access-pattern observability (sealed contents, visible pattern)@.";
+  let dev, disk = Blockdev.create ~name:"e19" ~blocks:256 () in
   let store = Dual_store.create ~dev ~key:(Bytes.make 32 'K') () in
   (match Dual_store.write_file store ~name:"file-A" (Bytes.make 20_000 'a') with
   | Ok () -> ()
@@ -896,22 +932,22 @@ let e18 ppf () =
   fp ppf "  observability — closing that residual channel needs oblivious layouts@.";
   fp ppf "  (OBLIVIATE [3]), orthogonal to interface safety.@."
 
-(* --- E19: multi-queue scaling -------------------------------------------------- *)
+(* --- E20: multi-queue scaling -------------------------------------------------- *)
 
 (* The §2.2 performance ideal (saturate tens-of-Gbit links) via per-core
    queues. Because each queue is a complete independent safe device,
    multi-queue adds zero control plane and zero new hardening surface —
    contrast virtio's control-virtqueue steering commands. With one core
    per queue, wall time is the busiest queue's cycles. *)
-let e19 ppf () =
-  fp ppf "E19: multi-queue scaling of the safe interface (64 flows, 16 msgs each, 1 KiB)@.";
+let e20 ppf () =
+  fp ppf "E20: multi-queue scaling of the safe interface (64 flows, 16 msgs each, 1 KiB)@.";
   fp ppf "  %-8s %14s %18s %9s@." "queues" "total cycles" "critical path" "speedup";
   let flows = 64 and per_flow = 16 in
   let baseline = ref 0.0 in
   List.iter
     (fun nq ->
       let mq =
-        Cio_cionet.Multiqueue.create ~name:"e19" ~queues:nq Cio_cionet.Config.default
+        Cio_cionet.Multiqueue.create ~name:"e20" ~queues:nq Cio_cionet.Config.default
       in
       (* One host model per queue (the host scales with the guest). *)
       let hosts =
@@ -961,10 +997,11 @@ let all =
     ("e13", "L2 size padding ablation", e13);
     ("e14", "cost-model sensitivity", e14);
     ("e15", "split vs packed virtqueue hardening", e15);
-    ("e16", "decomposition: transport x boundary", e16);
-    ("e17", "workload fingerprinting by the host", e17);
-    ("e18", "storage access-pattern observability", e18);
-    ("e19", "multi-queue scaling", e19);
+    ("e16", "fault campaigns / self-healing datapath", e16);
+    ("e17", "decomposition: transport x boundary", e17);
+    ("e18", "workload fingerprinting by the host", e18);
+    ("e19", "storage access-pattern observability", e19);
+    ("e20", "multi-queue scaling", e20);
   ]
 
 let find id = List.find_opt (fun (i, _, _) -> i = id) all

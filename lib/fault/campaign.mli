@@ -1,0 +1,56 @@
+(** Deterministic fault-injection campaigns over the dual-boundary
+    datapath, with self-healing verification and a leak verdict.
+
+    A campaign runs a confidential echo session while a {!Plan.t} is
+    injected through the discrete-event engine, then reports per fault
+    how the datapath detected (or tolerated by construction) the fault
+    and how much counted work recovery took. Same seed, byte-identical
+    report. *)
+
+type config = {
+  quantum_ns : int64;
+  watchdog_budget : int;
+  target_echoes : int;
+  max_steps : int;
+  payload_pad : int;
+}
+
+val default_config : config
+
+type fault_report = {
+  kind : Plan.kind;
+  injected_at : int;
+  classification : string;
+  detected : bool;
+  recovered_in_steps : int option;
+  recovered_in_cycles : int option;
+}
+
+type t = {
+  seed : int64;
+  steps : int;
+  sent : int;
+  echoes : int;
+  lost : int;
+  integrity_failures : int;
+  leaks : int;
+  confined : int;
+  stalls_detected : int;
+  resets : int;
+  reconnects : int;
+  crashes : int;
+  restarts : int;
+  faults : fault_report list;
+  survived : bool;
+}
+
+val all_recovered : t -> bool
+
+val tamper_tls_record : bytes -> bytes option
+(** Flip one bit inside a TCP payload (a TLS record in flight), fixing
+    L3/L4 checksums so only the L5 AEAD can catch it. [None] if the frame
+    carries no TCP payload. *)
+
+val run : ?config:config -> Plan.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(* Fault/recovery counters for the self-healing datapath.
+
+   One record shared by the driver watchdog (stall detection, ring
+   resets), the dual-boundary unit (I/O-domain crash/restart, channel
+   reconnects) and the fault-campaign engine (injections). Deliberately
+   plain mutable counters: campaign reports embed a snapshot, and the
+   quickstart prints them next to the cost meter. *)
+
+type t = {
+  mutable faults_injected : int;
+  mutable stalls_detected : int;
+  mutable resets : int;
+  mutable reconnects : int;
+}
+
+let create () = { faults_injected = 0; stalls_detected = 0; resets = 0; reconnects = 0 }
+
+let fault_injected t = t.faults_injected <- t.faults_injected + 1
+let stall_detected t = t.stalls_detected <- t.stalls_detected + 1
+let reset t = t.resets <- t.resets + 1
+let reconnect t = t.reconnects <- t.reconnects + 1
+
+let snapshot t =
+  { faults_injected = t.faults_injected; stalls_detected = t.stalls_detected;
+    resets = t.resets; reconnects = t.reconnects }
+
+let diff ~before ~after =
+  {
+    faults_injected = after.faults_injected - before.faults_injected;
+    stalls_detected = after.stalls_detected - before.stalls_detected;
+    resets = after.resets - before.resets;
+    reconnects = after.reconnects - before.reconnects;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "faults injected %d, stalls detected %d, resets %d, reconnects %d"
+    t.faults_injected t.stalls_detected t.resets t.reconnects

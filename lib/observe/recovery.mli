@@ -1,0 +1,23 @@
+(** Fault/recovery counters shared by the driver watchdog, the
+    dual-boundary unit and the fault-campaign engine. *)
+
+type t = {
+  mutable faults_injected : int;
+  mutable stalls_detected : int;
+  mutable resets : int;
+  mutable reconnects : int;
+}
+
+val create : unit -> t
+
+val fault_injected : t -> unit
+val stall_detected : t -> unit
+val reset : t -> unit
+val reconnect : t -> unit
+
+val snapshot : t -> t
+(** Immutable copy (the result is never mutated by this module). *)
+
+val diff : before:t -> after:t -> t
+
+val pp : Format.formatter -> t -> unit

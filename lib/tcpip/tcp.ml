@@ -127,7 +127,11 @@ let create ?(default_mss = 1460) ?(base_rto_ns = 200_000_000L) ?(max_retries = 8
     conns = [];
     listeners = [];
     next_id = 0;
-    next_ephemeral = 49152;
+    (* Randomised ephemeral-port start (deterministic per rng seed): a
+       restarted stack must not march through the same port sequence as
+       its dead predecessor, or its first SYN collides with the peer's
+       lingering half of the old connection. *)
+    next_ephemeral = 49152 + Rng.int rng 16_000;
     segments_in = 0;
     segments_out = 0;
   }
@@ -139,6 +143,7 @@ let segments_out t = t.segments_out
 let conn_state c = c.state
 let conn_error c = c.error
 let conn_id c = c.id
+let conn_remote c = (c.remote_ip, c.remote_port)
 
 (* Every segment processed charges stack work: the cycles that live inside
    the TEE's I/O stack TCB. This is what the dual-boundary design pushes
@@ -481,6 +486,13 @@ let handle_synsent t c (seg : Tcp_wire.t) =
     end
     else send_rst t ~dst:c.remote_ip ~to_seg:seg
   end
+  else if seg.Tcp_wire.flags.Tcp_wire.ack && seg.Tcp_wire.ack <> c.snd_nxt then
+    (* RFC 9293 §3.10.7.3: an unacceptable ACK in SYN-SENT gets a RST.
+       This is the ghost-busting path: if our 4-tuple collides with a
+       stale connection at the peer (e.g. after an I/O-stack restart),
+       the peer's challenge ACK lands here, our RST kills the stale
+       conn, and the retransmitted SYN then completes normally. *)
+    send_rst t ~dst:c.remote_ip ~to_seg:seg
 
 let seq_acceptable c (seg : Tcp_wire.t) =
   (* RFC 9293 §3.4 acceptability, with the simplification of a constant
@@ -520,6 +532,12 @@ let handle_established t c (seg : Tcp_wire.t) =
   end
   else if seg.Tcp_wire.flags.Tcp_wire.syn && Tcp_wire.seq_lt seg.Tcp_wire.seq c.rcv_nxt then
     (* Retransmitted handshake SYN: re-ACK. *)
+    emit t c ~seq:c.snd_nxt ()
+  else if seg.Tcp_wire.flags.Tcp_wire.syn then
+    (* RFC 5961 §4: an in-window SYN on a synchronized connection gets a
+       challenge ACK, never silence. If the SYN is a new incarnation of
+       the 4-tuple, the sender answers the challenge with a RST and the
+       stale connection dies. *)
     emit t c ~seq:c.snd_nxt ()
   else begin
     if seg.Tcp_wire.flags.Tcp_wire.ack then process_ack t c seg;

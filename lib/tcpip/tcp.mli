@@ -49,6 +49,10 @@ val conn_state : conn -> state
 val conn_error : conn -> string option
 val conn_id : conn -> int
 
+val conn_remote : conn -> Addr.ipv4 * int
+(** Remote (ip, port) — what a reconnect after an I/O-stack restart needs
+    to re-dial. *)
+
 val connect : t -> ?src_port:int -> dst:Addr.ipv4 -> dst_port:int -> unit -> conn
 val listen : t -> port:int -> ?backlog:int -> unit -> listener
 val accept : listener -> conn option

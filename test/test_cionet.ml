@@ -207,6 +207,144 @@ let test_dataflow_survives_attack_burst () =
   done;
   Alcotest.(check bool) "most messages still delivered" (!got >= 8) true
 
+let test_corrupt_payload_confined_to_l2 () =
+  (* L2 neither can nor must detect payload corruption — it delivers the
+     corrupted bytes verbatim (same length) and the L5 AEAD rejects them. *)
+  let drv, host, _ = make () in
+  Host_model.inject host Host_model.Corrupt_payload;
+  Host_model.deliver_rx host (Bytes.of_string "payload-bytes");
+  Host_model.poll host;
+  match Driver.poll drv with
+  | Some f ->
+      Alcotest.(check int) "length preserved" 13 (Bytes.length f);
+      Alcotest.(check bool) "content corrupted" false
+        (Bytes.equal f (Bytes.of_string "payload-bytes"))
+  | None -> Alcotest.fail "frame lost"
+
+let test_replay_slot_duplicate_delivery () =
+  (* A replayed slot is indistinguishable from the host licitly delivering
+     the same bytes twice: both copies arrive, and deduplication is the
+     L5 record layer's job. *)
+  let drv, host, _ = make () in
+  Host_model.inject host Host_model.Replay_slot;
+  Host_model.deliver_rx host (Bytes.of_string "once");
+  Host_model.poll host;
+  (match Driver.poll drv with
+  | Some f -> Helpers.check_bytes "first copy" (Bytes.of_string "once") f
+  | None -> Alcotest.fail "first copy lost");
+  match Driver.poll drv with
+  | Some f -> Helpers.check_bytes "replayed copy" (Bytes.of_string "once") f
+  | None -> Alcotest.fail "replay not delivered"
+
+let test_stall_services_nothing () =
+  let drv, host, sent = make () in
+  Host_model.inject host (Host_model.Stall 3);
+  ignore (Driver.transmit drv (Bytes.of_string "tx"));
+  Host_model.deliver_rx host (Bytes.of_string "rx");
+  for _ = 1 to 3 do Host_model.poll host done;
+  Alcotest.(check int) "nothing forwarded while stalled" 0 (List.length !sent);
+  Alcotest.(check int) "nothing produced while stalled" 0
+    (Ring.counters (Driver.rx_ring drv)).Ring.produced;
+  Host_model.poll host;
+  Alcotest.(check int) "tx flows after stall" 1 (List.length !sent);
+  match Driver.poll drv with
+  | Some f -> Helpers.check_bytes "rx flows after stall" (Bytes.of_string "rx") f
+  | None -> Alcotest.fail "rx lost after stall"
+
+let test_silent_drop_no_ring_activity () =
+  let drv, host, _ = make () in
+  Host_model.inject host (Host_model.Silent_drop 2);
+  Host_model.deliver_rx host (Bytes.of_string "a");
+  Host_model.deliver_rx host (Bytes.of_string "b");
+  Host_model.deliver_rx host (Bytes.of_string "c");
+  Host_model.poll host;
+  Alcotest.(check int) "drops counted" 2 (Host_model.stats host).Host_model.rx_dropped;
+  Alcotest.(check int) "dropped frames leave no ring trace" 1
+    (Ring.counters (Driver.rx_ring drv)).Ring.produced;
+  match Driver.poll drv with
+  | Some f -> Helpers.check_bytes "survivor delivered" (Bytes.of_string "c") f
+  | None -> Alcotest.fail "survivor lost"
+
+let test_ring_freeze_tx_progresses_rx_withheld () =
+  let drv, host, sent = make () in
+  Host_model.inject host (Host_model.Ring_freeze 2);
+  ignore (Driver.transmit drv (Bytes.of_string "tx"));
+  Host_model.deliver_rx host (Bytes.of_string "rx");
+  Host_model.poll host;
+  Alcotest.(check int) "tx drained during freeze" 1 (List.length !sent);
+  Alcotest.(check int) "rx withheld during freeze" 0
+    (Ring.counters (Driver.rx_ring drv)).Ring.produced;
+  Host_model.poll host;
+  Host_model.poll host;
+  match Driver.poll drv with
+  | Some f -> Helpers.check_bytes "rx flows after freeze" (Bytes.of_string "rx") f
+  | None -> Alcotest.fail "rx lost after freeze"
+
+(* --- watchdog ----------------------------------------------------------- *)
+
+let make_watched ?(poll_budget = 8) () =
+  let drv, host, sent = make () in
+  let wd =
+    Watchdog.create ~poll_budget
+      ~on_reset:(fun () -> Host_model.reattach host ~driver:drv)
+      drv
+  in
+  (drv, host, sent, wd)
+
+let test_watchdog_no_false_positive () =
+  let drv, host, _, wd = make_watched () in
+  for i = 1 to 100 do
+    ignore (Driver.transmit drv (Bytes.of_string (Printf.sprintf "f%d" i)));
+    Host_model.deliver_rx host (Bytes.of_string "back");
+    Host_model.poll host;
+    ignore (Driver.poll drv);
+    Watchdog.tick wd ~expecting_rx:true
+  done;
+  Alcotest.(check int) "no resets under benign traffic" 0 (Watchdog.resets wd)
+
+let test_watchdog_detects_tx_stall () =
+  let drv, host, sent, wd = make_watched () in
+  Host_model.inject host (Host_model.Stall 1_000_000);
+  ignore (Driver.transmit drv (Bytes.of_string "stuck"));
+  let gen0 = Driver.generation drv in
+  for _ = 1 to 9 do
+    Host_model.poll host;
+    Watchdog.tick wd
+  done;
+  Alcotest.(check int) "stall detected" 1 (Watchdog.stalls_detected wd);
+  Alcotest.(check bool) "generation bumped" true (Driver.generation drv > gen0);
+  Alcotest.(check int) "nothing leaked out meanwhile" 0 (List.length !sent)
+
+let test_watchdog_detects_ring_freeze () =
+  (* A frozen ring keeps consuming TX, so only the RX deadline — armed by
+     the caller's declaration that a response is owed — can catch it. *)
+  let _drv, host, _, wd = make_watched () in
+  Host_model.inject host (Host_model.Ring_freeze 1_000_000);
+  for _ = 1 to 9 do
+    Host_model.poll host;
+    Watchdog.tick wd ~expecting_rx:true
+  done;
+  Alcotest.(check int) "freeze detected via rx deadline" 1 (Watchdog.stalls_detected wd)
+
+let test_watchdog_backoff_doubles_and_caps () =
+  let _drv, host, _, wd = make_watched ~poll_budget:2 () in
+  Host_model.inject host (Host_model.Stall 200);
+  let seen = ref [] in
+  for _ = 1 to 200 do
+    Host_model.poll host;
+    Watchdog.tick wd ~expecting_rx:true;
+    seen := Watchdog.current_backoff wd :: !seen
+  done;
+  Alcotest.(check bool) "several resets, not one per budget" true
+    (Watchdog.resets wd >= 3 && Watchdog.resets wd < 50);
+  Alcotest.(check bool) "backoff grew" true (List.exists (fun b -> b >= 8) !seen);
+  Alcotest.(check bool) "backoff capped at 32" true (List.for_all (fun b -> b <= 32) !seen);
+  (* The stall has expired by now; progress resets the multiplier. *)
+  Host_model.deliver_rx host (Bytes.of_string "alive");
+  Host_model.poll host;
+  Watchdog.tick wd;
+  Alcotest.(check int) "backoff back to 1 after progress" 1 (Watchdog.current_backoff wd)
+
 let prop_untrusted_len_never_escapes =
   QCheck.Test.make ~name:"untrusted length never exceeds capacity" ~count:100
     QCheck.(int_bound 10_000_000)
@@ -289,6 +427,82 @@ let prop_ring_model_based =
       && ctx.Ring.consumed <= ctx.Ring.produced
       && crx.Ring.consumed <= crx.Ring.produced)
 
+(* Hot swap / watchdog reset under arbitrary interleavings: every ring
+   generation independently keeps its invariants (masked indices keep
+   delivered lengths within capacity, cursors stay coherent), generations
+   only move forward, and no slot is ever reused across a swap — the old
+   region is revoked wholesale, so post-swap host access faults rather
+   than aliasing the new rings' slots. *)
+let swap_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun n -> `Tx (1 + (n mod 2047))) small_nat);
+        (4, map (fun n -> `Rx (1 + (n mod 2047))) small_nat);
+        (3, return `Guest_poll);
+        (3, return `Host_poll);
+        (1, return `Swap);
+        (1, map (fun n -> `Stall (1 + (n mod 30))) small_nat);
+        (1, map (fun v -> `Sab_lie v) (int_bound 1_000_000));
+      ])
+
+let swap_op_print = function
+  | `Tx n -> Printf.sprintf "Tx %d" n
+  | `Rx n -> Printf.sprintf "Rx %d" n
+  | `Guest_poll -> "Guest_poll"
+  | `Host_poll -> "Host_poll"
+  | `Swap -> "Swap"
+  | `Stall n -> Printf.sprintf "Stall %d" n
+  | `Sab_lie v -> Printf.sprintf "Sab_lie %d" v
+
+let prop_hot_swap_preserves_invariants =
+  QCheck.Test.make ~name:"hot swap under random ops preserves ring invariants" ~count:100
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map swap_op_print ops))
+       QCheck.Gen.(list_size (int_range 1 60) swap_op_gen))
+    (fun ops ->
+      let drv, host, _ = make () in
+      let wd =
+        Watchdog.create ~poll_budget:4
+          ~on_reset:(fun () -> Host_model.reattach host ~driver:drv)
+          drv
+      in
+      let cap = Ring.capacity (Driver.rx_ring drv) in
+      let ok = ref true in
+      let last_gen = ref (Driver.generation drv) in
+      List.iter
+        (fun op ->
+          (match op with
+          | `Tx n -> ignore (Driver.transmit drv (Bytes.make n 't'))
+          | `Rx n -> Host_model.deliver_rx host (Bytes.make n 'r')
+          | `Guest_poll -> (
+              match Driver.poll drv with
+              | Some f -> if Bytes.length f > cap then ok := false
+              | None -> ())
+          | `Host_poll -> Host_model.poll host
+          | `Swap ->
+              let old_region = Driver.region drv in
+              let off, _ = Ring.data_arena (Driver.rx_ring drv) in
+              Driver.hot_swap drv;
+              Host_model.reattach host ~driver:drv;
+              (* No slot reuse across generations: the pre-swap region is
+                 dead to the host, not aliased into the new rings. *)
+              (match Region.host_read old_region ~off ~len:16 with
+              | _ -> ok := false
+              | exception Region.Fault _ -> ())
+          | `Stall n -> Host_model.inject host (Host_model.Stall n)
+          | `Sab_lie v -> Host_model.inject host (Host_model.Lie_len v));
+          Watchdog.tick wd ~expecting_rx:(Host_model.pending_rx_count host > 0);
+          let g = Driver.generation drv in
+          if g < !last_gen then ok := false;
+          last_gen := g;
+          let ctx = Ring.counters (Driver.tx_ring drv)
+          and crx = Ring.counters (Driver.rx_ring drv) in
+          if ctx.Ring.consumed > ctx.Ring.produced || crx.Ring.consumed > crx.Ring.produced
+          then ok := false)
+        ops;
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "layout: power-of-two enforced" `Quick test_layout_power_of_two_enforced;
@@ -310,7 +524,22 @@ let suite =
     Alcotest.test_case "hostile: garbage state skipped" `Quick test_garbage_state_skipped;
     Alcotest.test_case "hostile: header race defeated" `Quick test_race_header_defeated_by_single_fetch;
     Alcotest.test_case "hostile: dataflow survives burst" `Quick test_dataflow_survives_attack_burst;
+    Alcotest.test_case "hostile: corrupt payload confined to L2" `Quick
+      test_corrupt_payload_confined_to_l2;
+    Alcotest.test_case "hostile: replay slot delivered twice" `Quick
+      test_replay_slot_duplicate_delivery;
+    Alcotest.test_case "hostile: stall services nothing" `Quick test_stall_services_nothing;
+    Alcotest.test_case "hostile: silent drop leaves no ring trace" `Quick
+      test_silent_drop_no_ring_activity;
+    Alcotest.test_case "hostile: ring freeze is one-directional" `Quick
+      test_ring_freeze_tx_progresses_rx_withheld;
+    Alcotest.test_case "watchdog: no false positives" `Quick test_watchdog_no_false_positive;
+    Alcotest.test_case "watchdog: tx stall detected" `Quick test_watchdog_detects_tx_stall;
+    Alcotest.test_case "watchdog: ring freeze detected" `Quick test_watchdog_detects_ring_freeze;
+    Alcotest.test_case "watchdog: exponential backoff" `Quick
+      test_watchdog_backoff_doubles_and_caps;
     Helpers.qtest prop_untrusted_len_never_escapes;
     Helpers.qtest prop_untrusted_index_confined;
     Helpers.qtest prop_ring_model_based;
+    Helpers.qtest prop_hot_swap_preserves_invariants;
   ]

@@ -191,7 +191,7 @@ let test_every_experiment_runs () =
     (fun (id, _, f) ->
       (* Skip the slowest end-to-end sweeps here; they run in bench and in
          the dedicated core tests. *)
-      if not (List.mem id [ "fig5"; "e5"; "e12"; "e14"; "e17" ]) then begin
+      if not (List.mem id [ "fig5"; "e5"; "e12"; "e14"; "e16"; "e18" ]) then begin
         let buf = Buffer.create 4096 in
         let ppf = Format.formatter_of_buffer buf in
         f ppf ();
@@ -206,7 +206,7 @@ let test_experiment_registry_complete () =
     (fun required ->
       Alcotest.(check bool) (required ^ " present") true (List.mem required ids))
     [ "fig2"; "fig3"; "fig4"; "fig5"; "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9";
-      "e10"; "e11"; "e12"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19" ];
+      "e10"; "e11"; "e12"; "e13"; "e14"; "e15"; "e16"; "e17"; "e18"; "e19"; "e20" ];
   Alcotest.(check bool) "unknown id rejected" true
     (Cio_experiments.Experiments.find "e999" = None)
 

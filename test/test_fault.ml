@@ -1,0 +1,240 @@
+(* Tests for the fault-injection campaign engine and the self-healing
+   machinery it drives: deterministic plans, crash containment + restart
+   of the quarantined I/O stack, fail-closed record tampering, watchdog
+   stall recovery — and the leak verdict that makes them safe. *)
+
+open Cio_util
+open Cio_core
+open Cio_netsim
+open Cio_fault
+open Cio_compartment
+
+(* --- plans --------------------------------------------------------------- *)
+
+let test_plan_deterministic () =
+  let a = Plan.generate ~seed:7L () and b = Plan.generate ~seed:7L () in
+  Alcotest.(check bool) "same seed, same plan" true (a = b);
+  let c = Plan.generate ~seed:8L () in
+  Alcotest.(check bool) "different seed, different plan" true (a <> c)
+
+let test_plan_covers_every_layer () =
+  let plan = Plan.generate ~seed:3L () in
+  let classes =
+    List.map
+      (fun { Plan.kind; _ } ->
+        match kind with
+        | Plan.Host_stall _ -> `Stall
+        | Plan.Host_ring_freeze _ | Plan.Host_silent_drop _ -> `Starve
+        | Plan.Host_lie_len _ | Plan.Host_bad_index _ | Plan.Host_garbage_state _
+        | Plan.Host_race_header _ | Plan.Host_corrupt_payload | Plan.Host_replay_slot ->
+            `Sabotage
+        | Plan.Link_burst _ -> `Link
+        | Plan.Record_tamper -> `Record
+        | Plan.Stack_crash _ -> `Crash)
+      plan.Plan.injections
+  in
+  List.iter
+    (fun cls -> Alcotest.(check bool) "layer class present" true (List.mem cls classes))
+    [ `Stall; `Starve; `Sabotage; `Link; `Record; `Crash ];
+  let steps = List.map (fun i -> i.Plan.at_step) plan.Plan.injections in
+  Alcotest.(check bool) "injection steps strictly increasing" true
+    (List.sort compare steps = steps && List.sort_uniq compare steps = steps)
+
+(* --- campaigns ----------------------------------------------------------- *)
+
+(* Small, fast configuration: low watchdog budget, short fault windows. *)
+let fast_config =
+  { Campaign.default_config with Campaign.watchdog_budget = 120; max_steps = 150_000;
+    target_echoes = 8 }
+
+let run_injections ?(config = fast_config) ~seed injections =
+  Campaign.run ~config { Plan.seed; injections }
+
+let test_campaign_deterministic () =
+  let plan =
+    { Plan.seed = 5L;
+      injections =
+        [ { Plan.at_step = 800; kind = Plan.Host_stall 300 };
+          { Plan.at_step = 25_000; kind = Plan.Record_tamper };
+          { Plan.at_step = 50_000; kind = Plan.Stack_crash 120 } ] }
+  in
+  let show r = Format.asprintf "%a" Campaign.pp r in
+  let a = show (Campaign.run ~config:fast_config plan) in
+  let b = show (Campaign.run ~config:fast_config plan) in
+  Alcotest.(check string) "same seed, byte-identical report" a b
+
+let test_campaign_stall_watchdog_recovery () =
+  let r = run_injections ~seed:21L [ { Plan.at_step = 700; kind = Plan.Host_stall 400 } ] in
+  Alcotest.(check bool) "stall detected" true (r.Campaign.stalls_detected >= 1);
+  Alcotest.(check bool) "ring reset" true (r.Campaign.resets >= 1);
+  Alcotest.(check bool) "recovered" true (Campaign.all_recovered r);
+  Alcotest.(check int) "no leaks" 0 r.Campaign.leaks;
+  Alcotest.(check bool) "survived" true r.Campaign.survived
+
+let test_campaign_crash_containment () =
+  let r = run_injections ~seed:22L [ { Plan.at_step = 900; kind = Plan.Stack_crash 150 } ] in
+  Alcotest.(check int) "one crash" 1 r.Campaign.crashes;
+  Alcotest.(check int) "one restart" 1 r.Campaign.restarts;
+  Alcotest.(check bool) "reconnected" true (r.Campaign.reconnects >= 1);
+  Alcotest.(check bool) "recovered" true (Campaign.all_recovered r);
+  Alcotest.(check int) "no integrity failures" 0 r.Campaign.integrity_failures;
+  Alcotest.(check int) "no plaintext to host" 0 r.Campaign.leaks;
+  Alcotest.(check bool) "survived" true r.Campaign.survived
+
+let test_campaign_record_tamper_fail_closed () =
+  let r = run_injections ~seed:23L [ { Plan.at_step = 600; kind = Plan.Record_tamper } ] in
+  Alcotest.(check bool) "fresh session after tamper" true (r.Campaign.reconnects >= 1);
+  Alcotest.(check int) "tampered record never surfaced" 0 r.Campaign.integrity_failures;
+  Alcotest.(check int) "no leaks" 0 r.Campaign.leaks;
+  Alcotest.(check bool) "survived" true r.Campaign.survived
+
+let test_campaign_sabotage_confined () =
+  let r =
+    run_injections ~seed:24L
+      [ { Plan.at_step = 500; kind = Plan.Host_lie_len 999_999 } ]
+  in
+  Alcotest.(check bool) "confined at L2" true (r.Campaign.confined >= 1);
+  Alcotest.(check bool) "survived" true r.Campaign.survived
+
+let test_tamper_helper_only_touches_payload () =
+  (* The record-tamper helper must produce a frame that still parses at
+     L2-L4 (that is the point: only the AEAD may notice). *)
+  let open Cio_frame in
+  let payload = Bytes.make 32 'p' in
+  let seg =
+    { Tcp_wire.src_port = 1234; dst_port = 443; seq = 7l; ack = 9l;
+      flags = { Tcp_wire.syn = false; ack = true; fin = false; rst = false; psh = false };
+      window = 65535; payload; mss = None }
+  in
+  let src = Addr.ipv4_of_octets 10 0 0 1 and dst = Addr.ipv4_of_octets 10 0 0 2 in
+  let tcp = Tcp_wire.build ~src_ip:src ~dst_ip:dst seg in
+  let ip =
+    Ipv4.build { Ipv4.src; dst; protocol = Ipv4.Tcp; ttl = 64; payload = tcp }
+  in
+  let eth =
+    Ethernet.build
+      { Ethernet.src = Addr.mac_of_octets 2 0 0 0 0 1;
+        dst = Addr.mac_of_octets 2 0 0 0 0 2; ethertype = Ethernet.Ipv4; payload = ip }
+  in
+  match Campaign.tamper_tls_record eth with
+  | None -> Alcotest.fail "tamper refused a payload-bearing frame"
+  | Some eth' -> (
+      Alcotest.(check bool) "frame changed" false (Bytes.equal eth eth');
+      match Ethernet.parse eth' with
+      | Error _ -> Alcotest.fail "tampered frame no longer parses at L2"
+      | Ok e -> (
+          match Ipv4.parse e.Ethernet.payload with
+          | Error _ -> Alcotest.fail "tampered frame no longer parses at L3"
+          | Ok i -> (
+              match Tcp_wire.parse ~src_ip:i.Ipv4.src ~dst_ip:i.Ipv4.dst i.Ipv4.payload with
+              | Error _ -> Alcotest.fail "tampered frame no longer parses at L4"
+              | Ok s ->
+                  Alcotest.(check bool) "only the payload differs" false
+                    (Bytes.equal s.Tcp_wire.payload payload))))
+
+(* --- compartment crash / restart ----------------------------------------- *)
+
+let test_crash_domain_fails_closed () =
+  let world = Compartment.create ~crossing:Compartment.Gate () in
+  let a = Compartment.add_domain world ~name:"app" in
+  let io = Compartment.add_domain world ~name:"io" in
+  Alcotest.(check int) "call works while alive" 41
+    (Compartment.call world ~caller:a ~callee:io (fun () -> 41));
+  Compartment.crash_domain world io;
+  Alcotest.(check bool) "dead" false (Compartment.domain_alive io);
+  (match Compartment.call world ~caller:a ~callee:io (fun () -> 1) with
+  | _ -> Alcotest.fail "call into a crashed domain must fail"
+  | exception Compartment.Access_violation _ -> ());
+  Alcotest.(check int) "crash counted" 1 (Compartment.counters world).Compartment.crashes;
+  Compartment.restart_domain world io;
+  Alcotest.(check bool) "alive again" true (Compartment.domain_alive io);
+  Alcotest.(check int) "fresh incarnation" 1 (Compartment.domain_incarnation io);
+  Alcotest.(check int) "restart counted" 1 (Compartment.counters world).Compartment.restarts;
+  Alcotest.(check int) "call works after restart" 42
+    (Compartment.call world ~caller:a ~callee:io (fun () -> 42))
+
+(* --- dual-unit crash recovery end to end --------------------------------- *)
+
+let test_dual_survives_io_stack_crash () =
+  let engine = Engine.create () in
+  let link = Link.create ~latency_ns:5_000L ~gbps:10.0 engine in
+  let rng = Rng.create 99L in
+  let now () = Engine.now engine in
+  let ip_tee = Cio_frame.Addr.ipv4_of_octets 10 0 0 1 in
+  let ip_peer = Cio_frame.Addr.ipv4_of_octets 10 0 0 2 in
+  let mac_tee = Cio_frame.Addr.mac_of_octets 2 0 0 0 0 1 in
+  let mac_peer = Cio_frame.Addr.mac_of_octets 2 0 0 0 0 2 in
+  let psk = Bytes.of_string "attestation-provisioned-psk-32b!" in
+  let peer =
+    Peer.create ~link ~endpoint:Link.B ~ip:ip_peer ~mac:mac_peer
+      ~neighbors:[ (ip_tee, mac_tee) ] ~psk ~psk_id:"t" ~rng:(Rng.split rng) ~now ()
+  in
+  Peer.serve_echo peer ~port:443;
+  let unit_ =
+    Dual.create ~mac:mac_tee ~name:"crash-test" ~ip:ip_tee
+      ~neighbors:[ (ip_peer, mac_peer) ] ~psk ~psk_id:"t" ~rng:(Rng.split rng) ~now ()
+  in
+  let host =
+    Cio_cionet.Host_model.create ~driver:(Dual.driver unit_)
+      ~transmit:(fun f -> Link.send link ~src:Link.A f)
+  in
+  Link.attach link Link.A (fun f -> Cio_cionet.Host_model.deliver_rx host f);
+  let step () =
+    Dual.poll unit_;
+    Cio_cionet.Host_model.poll host;
+    Peer.poll peer;
+    Engine.advance engine ~by:10_000L
+  in
+  let wait pred =
+    let n = ref 0 in
+    while (not (pred ())) && !n < 60_000 do incr n; step () done;
+    pred ()
+  in
+  let ch = ref (Dual.connect unit_ ~dst:ip_peer ~dst_port:443) in
+  Alcotest.(check bool) "established" true
+    (wait (fun () -> Channel.is_established !ch));
+  let echo msg =
+    (match Channel.send !ch (Bytes.of_string msg) with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "send failed");
+    let got = ref None in
+    ignore
+      (wait (fun () ->
+           (match Channel.recv !ch with Some m -> got := Some m | None -> ());
+           !got <> None));
+    match !got with
+    | Some m -> Alcotest.(check string) "echo intact" msg (Bytes.to_string m)
+    | None -> Alcotest.fail "no echo"
+  in
+  echo "before the crash";
+  Dual.crash_io unit_;
+  Alcotest.(check bool) "io dead" false (Dual.io_alive unit_);
+  for _ = 1 to 200 do step () done;
+  Dual.restart_io unit_;
+  Cio_cionet.Host_model.reattach host ~driver:(Dual.driver unit_);
+  ch := Dual.reconnect unit_ !ch;
+  Alcotest.(check bool) "re-established after restart" true
+    (wait (fun () -> Channel.is_established !ch));
+  echo "after the restart";
+  let r = Cio_observe.Recovery.snapshot (Dual.recovery unit_) in
+  Alcotest.(check int) "one ring reset" 1 r.Cio_observe.Recovery.resets;
+  Alcotest.(check int) "one reconnect" 1 r.Cio_observe.Recovery.reconnects
+
+let suite =
+  [
+    Alcotest.test_case "plan: deterministic" `Quick test_plan_deterministic;
+    Alcotest.test_case "plan: covers every layer" `Quick test_plan_covers_every_layer;
+    Alcotest.test_case "campaign: byte-identical reports" `Slow test_campaign_deterministic;
+    Alcotest.test_case "campaign: stall -> watchdog recovery" `Slow
+      test_campaign_stall_watchdog_recovery;
+    Alcotest.test_case "campaign: crash contained + restart" `Slow
+      test_campaign_crash_containment;
+    Alcotest.test_case "campaign: record tamper fails closed" `Slow
+      test_campaign_record_tamper_fail_closed;
+    Alcotest.test_case "campaign: sabotage confined at L2" `Slow test_campaign_sabotage_confined;
+    Alcotest.test_case "tamper: survives L2-L4, breaks at L5" `Quick
+      test_tamper_helper_only_touches_payload;
+    Alcotest.test_case "compartment: crash fails closed, restart revives" `Quick
+      test_crash_domain_fails_closed;
+    Alcotest.test_case "dual: survives I/O-stack crash" `Quick test_dual_survives_io_stack_crash;
+  ]

@@ -18,6 +18,7 @@ let () =
       ("dda", Test_dda.suite);
       ("observe-tcb", Test_observe_tcb.suite);
       ("packed", Test_packed.suite);
+      ("fault", Test_fault.suite);
       ("extensions", Test_extensions.suite);
       ("integration", Test_integration.suite);
       ("switch", Test_switch.suite);

@@ -138,10 +138,10 @@ let test_e11_polling_cheaper () =
   in
   Alcotest.(check bool) "polling cheaper" true (run false < run true)
 
-(* E19: critical path halves (at least 1.9x) from 1 to 2 queues. *)
-let test_e19_scaling () =
+(* E20: critical path halves (at least 1.9x) from 1 to 2 queues. *)
+let test_e20_scaling () =
   let critical nq =
-    let mq = Cio_cionet.Multiqueue.create ~name:"shape-e19" ~queues:nq Cio_cionet.Config.default in
+    let mq = Cio_cionet.Multiqueue.create ~name:"shape-e20" ~queues:nq Cio_cionet.Config.default in
     let hosts =
       List.map
         (fun d -> Cio_cionet.Host_model.create ~driver:d ~transmit:(fun _ -> ()))
@@ -176,6 +176,6 @@ let suite =
     Alcotest.test_case "E3 shape: transport order" `Quick test_e3_transport_order;
     Alcotest.test_case "E8 shape: boundary gap" `Quick test_e8_boundary_gap;
     Alcotest.test_case "E11 shape: polling cheaper" `Quick test_e11_polling_cheaper;
-    Alcotest.test_case "E19 shape: multi-queue scaling" `Quick test_e19_scaling;
+    Alcotest.test_case "E20 shape: multi-queue scaling" `Quick test_e20_scaling;
     Alcotest.test_case "F2-F4 shape: dataset invariants" `Quick test_figure_data_shapes;
   ]

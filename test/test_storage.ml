@@ -315,7 +315,7 @@ let suite =
     Alcotest.test_case "dual store: file swap detected" `Quick test_dual_store_wrong_file_swap_detected;
     Alcotest.test_case "dual store: rollback detected" `Quick test_dual_store_rollback_detected;
     Alcotest.test_case "dual store: rogue domain denied" `Quick test_dual_store_rogue_domain_denied;
-    Alcotest.test_case "dual store: access pattern visible (E18)" `Quick
+    Alcotest.test_case "dual store: access pattern visible (E19)" `Quick
       test_dual_store_access_pattern_visible;
     Alcotest.test_case "dual store: delete" `Quick test_dual_store_delete;
     Helpers.qtest prop_sealed_roundtrip;

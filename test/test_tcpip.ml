@@ -322,9 +322,73 @@ let prop_stack_survives_mutated_real_frames =
       Cio_tcpip.Stack.handle_frame pair.H.stack_b frame;
       true)
 
+(* A reincarnated client stack reusing the exact 4-tuple of a connection
+   the server still believes is established (what happens when the
+   quarantined I/O stack crashes and restarts, losing all TCP state).
+   RFC 5961 challenge ACK + RFC 9293 SYN-SENT RST generation must bust
+   the ghost: the stale server conn dies, the retransmitted SYN reaches
+   the listener, and the new incarnation establishes. *)
+let test_stale_incarnation_recovers () =
+  let nif_a, nif_b = Cio_tcpip.Netif.loopback_pair ~mac_a:H.mac_a ~mac_b:H.mac_b ~mtu:1500 in
+  let clock = ref 0L in
+  let now () = !clock in
+  let rng = Cio_util.Rng.create 77L in
+  let mk nif ip peer_ip peer_mac =
+    Stack.create ~netif:nif ~ip ~neighbors:[ (peer_ip, peer_mac) ] ~now
+      ~rng:(Cio_util.Rng.split rng) ()
+  in
+  let stack_a = mk nif_a H.ip_a H.ip_b H.mac_b in
+  let stack_b = mk nif_b H.ip_b H.ip_a H.mac_a in
+  let tcp_b = Stack.tcp stack_b in
+  let listener = Tcp.listen tcp_b ~port:7777 () in
+  let live_a = ref stack_a in
+  let run_until pred =
+    let n = ref 0 in
+    while (not (pred ())) && !n < 10_000 do
+      incr n;
+      Stack.poll !live_a;
+      Stack.poll stack_b;
+      clock := Int64.add !clock 1_000_000L
+    done;
+    pred ()
+  in
+  let client1 = Tcp.connect (Stack.tcp stack_a) ~src_port:5555 ~dst:H.ip_b ~dst_port:7777 () in
+  let server1 = ref None in
+  Alcotest.(check bool) "first incarnation establishes" true
+    (run_until (fun () ->
+         (match !server1 with None -> server1 := Tcp.accept listener | Some _ -> ());
+         Tcp.conn_state client1 = Tcp.Established && !server1 <> None));
+  (* The client stack dies with all its TCP state; its reincarnation
+     picks the same ephemeral port. *)
+  let stack_a2 = mk nif_a H.ip_a H.ip_b H.mac_b in
+  live_a := stack_a2;
+  let client2 = Tcp.connect (Stack.tcp stack_a2) ~src_port:5555 ~dst:H.ip_b ~dst_port:7777 () in
+  let server2 = ref None in
+  Alcotest.(check bool) "reincarnation establishes" true
+    (run_until (fun () ->
+         (match !server2 with None -> server2 := Tcp.accept listener | Some _ -> ());
+         Tcp.conn_state client2 = Tcp.Established && !server2 <> None));
+  (match !server1 with
+  | Some c ->
+      Alcotest.(check string) "stale server conn reset" "CLOSED"
+        (Tcp.state_name (Tcp.conn_state c))
+  | None -> ());
+  (* Data flows on the new incarnation. *)
+  ignore (Tcp.send (Stack.tcp stack_a2) client2 (Bytes.of_string "reborn"));
+  Tcp.flush (Stack.tcp stack_a2) client2;
+  let got = Buffer.create 16 in
+  Alcotest.(check bool) "data delivered" true
+    (run_until (fun () ->
+         (match !server2 with
+         | Some s -> Buffer.add_bytes got (Tcp.recv tcp_b s ~max:4096)
+         | None -> ());
+         Buffer.length got >= 6));
+  Alcotest.(check string) "payload intact" "reborn" (Buffer.contents got)
+
 let suite =
   [
     Alcotest.test_case "tcp: three-way handshake" `Quick test_handshake;
+    Alcotest.test_case "tcp: stale incarnation recovers" `Quick test_stale_incarnation_recovers;
     Alcotest.test_case "tcp: small transfer" `Quick test_small_transfer;
     Alcotest.test_case "tcp: large transfer (windowed)" `Quick test_large_transfer_exceeds_window;
     Alcotest.test_case "tcp: bidirectional" `Quick test_bidirectional_transfer;
