@@ -18,6 +18,11 @@
      bench/main.exe tables          # tables only
      bench/main.exe micro           # micro-benchmarks only
      bench/main.exe fig5 e2 ...     # selected tables only
+
+   Flags (combine with any mode):
+     --json FILE    also write machine-readable results (experiment text,
+                    micro ns/run, telemetry metrics snapshot) to FILE
+     --smoke        restrict tables to a fast subset (CI)
 *)
 
 open Bechamel
@@ -170,6 +175,8 @@ let micro_tests () =
 
 let () = Bechamel_notty.Unit.add Instance.monotonic_clock "ns"
 
+(* Returns the merged OLS results so the --json path can extract ns/run
+   per test after the notty table has been printed. *)
 let run_micro () =
   Fmt.pr "@.=== Bechamel micro-benchmarks (wall time of this implementation) ===@.";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
@@ -186,20 +193,133 @@ let run_micro () =
   let img =
     Bechamel_notty.Multiple.image_of_ols_results ~rect:window ~predictor:Measure.run results
   in
-  Notty_unix.eol img |> Notty_unix.output_image
+  Notty_unix.eol img |> Notty_unix.output_image;
+  results
+
+(* --- machine-readable output (--json) -------------------------------- *)
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  json_escape buf s;
+  Buffer.add_char buf '"'
+
+let micro_ns_per_run results =
+  (* merged results: measure label -> (test name -> OLS). One instance
+     (monotonic_clock), so just flatten. *)
+  let out = ref [] in
+  Hashtbl.iter
+    (fun _label per_test ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some (ns :: _) -> out := (name, ns) :: !out
+          | _ -> ())
+        per_test)
+    results;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !out
+
+let write_json ~file ~mode ~smoke ~experiments ~micro =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"schema\":\"cio-bench-v1\",\"mode\":";
+  add_json_string buf mode;
+  Buffer.add_string buf (Printf.sprintf ",\"smoke\":%b" smoke);
+  Buffer.add_string buf ",\"experiments\":[";
+  List.iteri
+    (fun i (id, title, output) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"id\":";
+      add_json_string buf id;
+      Buffer.add_string buf ",\"title\":";
+      add_json_string buf title;
+      Buffer.add_string buf ",\"output\":";
+      add_json_string buf output;
+      Buffer.add_char buf '}')
+    experiments;
+  Buffer.add_string buf "],\"micro_ns_per_run\":{";
+  List.iteri
+    (fun i (name, ns) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_json_string buf name;
+      Buffer.add_string buf (Printf.sprintf ":%.2f" ns))
+    micro;
+  Buffer.add_string buf "},\"metrics\":";
+  Cio_telemetry.Metrics.to_json buf Cio_telemetry.Metrics.default;
+  Buffer.add_string buf "}\n";
+  let oc = open_out file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Fmt.pr "wrote %s@." file
+
+(* Fast, information-dense subset for CI smoke runs. *)
+let smoke_ids = [ "fig2"; "fig3"; "fig4"; "e1"; "e2"; "e11" ]
+
+(* Run one experiment, teeing its output to stdout and into the
+   accumulator for --json. *)
+let run_captured acc ?title id =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  (match title with Some t -> Fmt.pr "=== %s: %s ===@." id t | None -> ());
+  let known = Cio_experiments.Experiments.run_one ppf id in
+  Format.pp_print_flush ppf ();
+  if known then begin
+    print_string (Buffer.contents buf);
+    Fmt.pr "@.";
+    let title = match title with Some t -> t | None -> "" in
+    acc := (id, title, Buffer.contents buf) :: !acc
+  end
+  else Fmt.epr "unknown experiment: %s@." id;
+  known
 
 let () =
   Cio_tcb.Tcb.set_repo_root ".";
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [] ->
-      Cio_experiments.Experiments.run_all Fmt.stdout ();
-      run_micro ()
-  | [ "tables" ] -> Cio_experiments.Experiments.run_all Fmt.stdout ()
-  | [ "micro" ] -> run_micro ()
-  | ids ->
-      List.iter
-        (fun id ->
-          if not (Cio_experiments.Experiments.run_one Fmt.stdout id) then
-            Fmt.epr "unknown experiment: %s@." id)
-        ids
+  let rec parse (json, smoke, words) = function
+    | [] -> (json, smoke, List.rev words)
+    | "--json" :: file :: rest -> parse (Some file, smoke, words) rest
+    | "--smoke" :: rest -> parse (json, true, words) rest
+    | w :: rest -> parse (json, smoke, w :: words) rest
+  in
+  let json, smoke, words = parse (None, false, []) (List.tl (Array.to_list Sys.argv)) in
+  let acc = ref [] in
+  let table_ids () =
+    List.filter_map
+      (fun (id, title, _) ->
+        if (not smoke) || List.mem id smoke_ids then Some (id, title) else None)
+      Cio_experiments.Experiments.all
+  in
+  let run_tables () =
+    List.iter (fun (id, title) -> ignore (run_captured acc ~title id)) (table_ids ())
+  in
+  let mode, micro =
+    match words with
+    | [] ->
+        run_tables ();
+        let r = run_micro () in
+        ("all", micro_ns_per_run r)
+    | [ "tables" ] ->
+        run_tables ();
+        ("tables", [])
+    | [ "micro" ] ->
+        let r = run_micro () in
+        ("micro", micro_ns_per_run r)
+    | ids ->
+        let ok = List.for_all (fun id -> run_captured acc id) ids in
+        if not ok then exit 1;
+        ("select", [])
+  in
+  match json with
+  | Some file -> write_json ~file ~mode ~smoke ~experiments:(List.rev !acc) ~micro
+  | None -> ()

@@ -3,6 +3,8 @@
      cio-sim list            enumerate experiments
      cio-sim run fig5 e2     run selected experiments
      cio-sim all             run everything (same content as bench/main.exe)
+     cio-sim trace e2        run one experiment with tracing on and write
+                             a Chrome trace_event JSON (about://tracing)
 *)
 
 open Cmdliner
@@ -52,8 +54,50 @@ let all_cmd =
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment") Term.(const run $ repo_root_arg)
 
+let trace_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (see list).")
+  in
+  let out_arg =
+    let doc = "Output file for the Chrome trace_event JSON (default trace-<ID>.json)." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let timeline_arg =
+    let doc = "Also print a compact text timeline to stderr." in
+    Arg.(value & flag & info [ "timeline" ] ~doc)
+  in
+  let capacity_arg =
+    let doc = "Trace ring capacity in events (oldest events drop beyond it)." in
+    Arg.(value & opt int 262_144 & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let run repo_root id out timeline capacity =
+    setup_tcb repo_root;
+    let module Trace = Cio_telemetry.Trace in
+    Trace.enable ~capacity ();
+    if not (Cio_experiments.Experiments.run_one Fmt.stdout id) then begin
+      Fmt.epr "unknown experiment id: %s@." id;
+      1
+    end
+    else begin
+      Trace.disable ();
+      let file = match out with Some f -> f | None -> Printf.sprintf "trace-%s.json" id in
+      let buf = Buffer.create 65536 in
+      Trace.to_chrome_json buf;
+      let oc = open_out file in
+      Buffer.output_buffer oc buf;
+      close_out oc;
+      if timeline then Fmt.epr "%a@." Trace.pp_timeline ();
+      Fmt.pr "trace: %d events (%d dropped by ring wrap) -> %s@." (Trace.recorded ())
+        (Trace.dropped ()) file;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run one experiment with tracing enabled and export a Chrome trace")
+    Term.(const run $ repo_root_arg $ id_arg $ out_arg $ timeline_arg $ capacity_arg)
+
 let main =
   let doc = "confidential I/O simulator: reproduction of 'Towards (Really) Safe and Fast Confidential I/O' (HotOS '23)" in
-  Cmd.group (Cmd.info "cio-sim" ~version:"1.0.0" ~doc) [ list_cmd; run_cmd; all_cmd ]
+  Cmd.group (Cmd.info "cio-sim" ~version:"1.0.0" ~doc) [ list_cmd; run_cmd; all_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -121,7 +121,8 @@ let () =
   let meter = Dual.meter unit_ in
   Fmt.pr "TEE work: %d cycles (%a)@." (Cost.total meter) Cost.pp_meter meter;
   Fmt.pr "L5 compartment handoffs: %d@." (Dual.crossings unit_);
-  Fmt.pr "recovery: %a@." Cio_observe.Recovery.pp (Dual.recovery unit_);
+  Fmt.pr "recovery: %a@." Cio_observe.Recovery.pp
+    (Cio_observe.Recovery.snapshot (Dual.recovery unit_));
   Fmt.pr "frames on the wire: %d out, %d in — all the host ever observed.@."
     (Link.frames_sent link ~src:Link.A)
     (Link.frames_sent link ~src:Link.B)

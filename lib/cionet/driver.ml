@@ -5,6 +5,14 @@
 
 open Cio_util
 open Cio_mem
+module Trace = Cio_telemetry.Trace
+module Metrics = Cio_telemetry.Metrics
+module Kind = Cio_telemetry.Kind
+
+let m_tx = Metrics.counter Metrics.default "driver.tx_frames"
+let m_rx = Metrics.counter Metrics.default "driver.rx_frames"
+let m_kicks = Metrics.counter Metrics.default "driver.doorbells"
+let m_swaps = Metrics.counter Metrics.default "driver.hot_swaps"
 
 type instance = {
   region : Region.t;
@@ -92,12 +100,15 @@ let generation t = t.generation
    region is revoked from the host wholesale so nothing lingers shared
    after migration. *)
 let hot_swap t =
+  if Trace.on () then Trace.span_begin ~cat:Kind.l2 "hot-swap";
   Region.unshare_range t.inst.region ~off:0 ~len:(Region.size t.inst.region);
   t.generation <- t.generation + 1;
   t.inst <-
     make_instance ~model:t.model ~meter:t.meter ~host_meter:t.host_meter
       ~name:(Printf.sprintf "%s-gen%d" t.name t.generation)
-      t.config
+      t.config;
+  Metrics.inc m_swaps;
+  if Trace.on () then Trace.span_end ~cat:Kind.l2 "hot-swap"
 
 let transmit t frame =
   let frame =
@@ -110,27 +121,40 @@ let transmit t frame =
     end
     else frame
   in
+  let traced = Trace.on () in
+  if traced then Trace.span_begin ~cat:Kind.l2 "tx";
   let ok = Ring.try_produce t.inst.tx frame in
   if ok then begin
     t.tx_frames <- t.tx_frames + 1;
-    if t.config.Config.use_notifications then
+    Metrics.inc m_tx;
+    if t.config.Config.use_notifications then begin
       (* Optional doorbell for E11: stateless and idempotent — it carries
          no data, only "look at the ring". *)
-      Cost.charge (guest_meter t) Cost.Notification t.model.Cost.notification
+      Cost.charge (guest_meter t) Cost.Notification t.model.Cost.notification;
+      Metrics.inc m_kicks;
+      if traced then Trace.instant ~cat:Kind.l2 Kind.kick
+    end
   end;
+  if traced then Trace.span_end ~cat:Kind.l2 "tx";
   ok
+
+let got_rx t frame =
+  t.rx_frames <- t.rx_frames + 1;
+  Metrics.inc m_rx;
+  if Trace.on () then
+    Trace.instant ~arg:(Bytes.length frame) ~cat:Kind.l2 "rx-frame"
 
 let poll t =
   match t.config.Config.rx_strategy with
   | Config.Copy_in ->
       let r = Ring.try_consume t.inst.rx in
-      (match r with Some _ -> t.rx_frames <- t.rx_frames + 1 | None -> ());
+      (match r with Some f -> got_rx t f | None -> ());
       r
   | Config.Revoke -> (
       match Ring.try_consume_revoke t.inst.rx with
       | None -> None
       | Some zc ->
-          t.rx_frames <- t.rx_frames + 1;
+          got_rx t zc.Ring.data;
           (* The netif contract hands out an owned buffer, so release the
              slot immediately; the data bytes were captured while the
              pages were private, which is the property that matters. *)
@@ -141,7 +165,7 @@ let poll_zero_copy t =
   match Ring.try_consume_revoke t.inst.rx with
   | None -> None
   | Some zc ->
-      t.rx_frames <- t.rx_frames + 1;
+      got_rx t zc.Ring.data;
       Some zc
 
 let to_netif t =

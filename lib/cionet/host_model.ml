@@ -10,6 +10,15 @@
    specific construction principle. *)
 
 open Cio_mem
+module Trace = Cio_telemetry.Trace
+module Metrics = Cio_telemetry.Metrics
+module Kind = Cio_telemetry.Kind
+
+let m_tx_forwarded = Metrics.counter Metrics.default "host.tx_forwarded"
+let m_rx_injected = Metrics.counter Metrics.default "host.rx_injected"
+let m_faults = Metrics.counter Metrics.default "host.faults"
+let m_rx_dropped = Metrics.counter Metrics.default "host.rx_dropped"
+let m_injected = Metrics.counter Metrics.default "host.misbehaviors_injected"
 
 type misbehavior =
   | Lie_len of int          (* publish this length on the next RX message *)
@@ -68,7 +77,21 @@ let reattach t ~(driver : Driver.t) =
 
 let stats t = t.stats
 
+let misbehavior_name = function
+  | Lie_len _ -> "lie-len"
+  | Bad_index _ -> "bad-index"
+  | Garbage_state _ -> "garbage-state"
+  | Race_header _ -> "race-header"
+  | Corrupt_payload -> "corrupt-payload"
+  | Replay_slot -> "replay-slot"
+  | Stall _ -> "stall"
+  | Silent_drop _ -> "silent-drop"
+  | Ring_freeze _ -> "ring-freeze"
+
 let inject t m =
+  Metrics.inc m_injected;
+  if Trace.on () then
+    Trace.instant ~cat:Kind.l2 ("host-" ^ misbehavior_name m);
   match m with
   | Stall n -> t.stall_polls <- t.stall_polls + max 0 n
   | Silent_drop n -> t.drop_frames <- t.drop_frames + max 0 n
@@ -159,10 +182,14 @@ let poll t =
     match Ring.try_consume t.driver_tx with
     | Some frame ->
         t.stats.tx_forwarded <- t.stats.tx_forwarded + 1;
+        Metrics.inc m_tx_forwarded;
         t.transmit frame;
         drain_tx ()
     | None -> ()
-    | exception Region.Fault _ -> t.stats.faults <- t.stats.faults + 1
+    | exception Region.Fault _ ->
+        t.stats.faults <- t.stats.faults + 1;
+        Metrics.inc m_faults;
+        if Trace.on () then Trace.instant ~cat:Kind.l2 "host-fault"
   in
   drain_tx ();
   (* RX direction: push pending frames into the guest's RX ring. *)
@@ -174,6 +201,8 @@ let poll t =
       ignore (Queue.take t.pending_rx);
       t.drop_frames <- t.drop_frames - 1;
       t.stats.rx_dropped <- t.stats.rx_dropped + 1;
+      Metrics.inc m_rx_dropped;
+      if Trace.on () then Trace.instant ~cat:Kind.l2 "host-rx-drop";
       fill_rx ()
     end
     else if not (Queue.is_empty t.pending_rx) then begin
@@ -191,6 +220,7 @@ let poll t =
       | true ->
           ignore (Queue.take t.pending_rx);
           t.stats.rx_injected <- t.stats.rx_injected + 1;
+          Metrics.inc m_rx_injected;
           t.last_frame <- Some frame;
           sabotage t;
           (match take t (function Replay_slot -> true | _ -> false) with
@@ -206,6 +236,8 @@ let poll t =
       | false -> ()
       | exception Region.Fault _ ->
           t.stats.faults <- t.stats.faults + 1;
+          Metrics.inc m_faults;
+          if Trace.on () then Trace.instant ~cat:Kind.l2 "host-fault";
           ignore (Queue.take t.pending_rx)
     end
   in

@@ -27,6 +27,20 @@
 
 open Cio_util
 open Cio_mem
+module Trace = Cio_telemetry.Trace
+module Metrics = Cio_telemetry.Metrics
+module Kind = Cio_telemetry.Kind
+
+(* Aggregate slot-lifecycle metrics across every ring in the process.
+   Handles are resolved once at module init, so the per-event cost is a
+   single unboxed increment — cheap enough to leave always on. *)
+let m_produced = Metrics.counter Metrics.default "ring.produced"
+let m_consumed = Metrics.counter Metrics.default "ring.consumed"
+let m_full_misses = Metrics.counter Metrics.default "ring.full_misses"
+let m_empty_polls = Metrics.counter Metrics.default "ring.empty_polls"
+let m_len_clamped = Metrics.counter Metrics.default "ring.len_clamped"
+let m_index_masked = Metrics.counter Metrics.default "ring.index_masked"
+let m_state_skipped = Metrics.counter Metrics.default "ring.state_skipped"
 
 let state_empty = 0
 let state_full = 1
@@ -211,6 +225,7 @@ let try_produce t payload =
   let state, _, _, _ = read_header t actor slot in
   if state <> state_empty then begin
     t.counters.full_misses <- t.counters.full_misses + 1;
+    Metrics.inc m_full_misses;
     false
   end
   else begin
@@ -224,6 +239,7 @@ let try_produce t payload =
           match Queue.take_opt t.free_units with
           | None ->
               t.counters.full_misses <- t.counters.full_misses + 1;
+              Metrics.inc m_full_misses;
               -1
           | Some u ->
               t.bindings.(slot) <- Some u;
@@ -233,6 +249,7 @@ let try_produce t payload =
           match Queue.take_opt t.free_units with
           | None ->
               t.counters.full_misses <- t.counters.full_misses + 1;
+              Metrics.inc m_full_misses;
               -1
           | Some u ->
               t.bindings.(slot) <- Some u;
@@ -253,6 +270,8 @@ let try_produce t payload =
       write_word t actor ~off:(hdr_off t slot) state_full;
       t.prod_next <- t.prod_next + 1;
       t.counters.produced <- t.counters.produced + 1;
+      Metrics.inc m_produced;
+      if Trace.on () then Trace.instant ~arg:len ~cat:Kind.l2 "slot-produce";
       true
     end
   end
@@ -264,6 +283,8 @@ let locate t actor slot ~len ~info =
     charge t actor Cost.Check t.model.Cost.check;
     if len > cap then begin
       t.counters.len_clamped <- t.counters.len_clamped + 1;
+      Metrics.inc m_len_clamped;
+      if Trace.on () then Trace.instant ~arg:len ~cat:Kind.l2 "slot-clamp";
       cap
     end
     else len
@@ -275,13 +296,21 @@ let locate t actor slot ~len ~info =
   | Config.Pool _ ->
       charge t actor Cost.Check t.model.Cost.check;
       let u = info land (t.lay.units - 1) in
-      if u <> info then t.counters.index_masked <- t.counters.index_masked + 1;
+      if u <> info then begin
+        t.counters.index_masked <- t.counters.index_masked + 1;
+        Metrics.inc m_index_masked;
+        if Trace.on () then Trace.instant ~arg:info ~cat:Kind.l2 "slot-mask"
+      end;
       let len = clamp len t.lay.unit_size in
       (unit_off t u, len)
   | Config.Indirect _ ->
       charge t actor Cost.Check t.model.Cost.check;
       let d = info land (t.lay.desc_count - 1) in
-      if d <> info then t.counters.index_masked <- t.counters.index_masked + 1;
+      if d <> info then begin
+        t.counters.index_masked <- t.counters.index_masked + 1;
+        Metrics.inc m_index_masked;
+        if Trace.on () then Trace.instant ~arg:info ~cat:Kind.l2 "slot-mask"
+      end;
       (* Single fetch of the descriptor. *)
       charge t actor Cost.Ring t.model.Cost.ring_op;
       let db =
@@ -295,7 +324,11 @@ let locate t actor slot ~len ~info =
          unit boundary. A hostile offset aliases a valid unit. *)
       charge t actor Cost.Check t.model.Cost.check;
       let confined = Bitops.align_down (raw_off land (t.lay.data_size - 1)) ~align:t.lay.unit_size in
-      if confined <> raw_off then t.counters.index_masked <- t.counters.index_masked + 1;
+      if confined <> raw_off then begin
+        t.counters.index_masked <- t.counters.index_masked + 1;
+        Metrics.inc m_index_masked;
+        if Trace.on () then Trace.instant ~arg:raw_off ~cat:Kind.l2 "slot-mask"
+      end;
       let len = clamp (min len dlen) t.lay.unit_size in
       (t.base + t.lay.data_off + confined, len)
 
@@ -305,11 +338,14 @@ let try_consume t =
   let state, len, info, _tag = read_header t actor slot in
   if state = state_empty then begin
     t.counters.empty_polls <- t.counters.empty_polls + 1;
+    Metrics.inc m_empty_polls;
     None
   end
   else if state <> state_full then begin
     (* Malformed state word: skip the slot entirely (no error path). *)
     t.counters.state_skipped <- t.counters.state_skipped + 1;
+    Metrics.inc m_state_skipped;
+    if Trace.on () then Trace.instant ~arg:state ~cat:Kind.l2 "slot-skip";
     write_word t actor ~off:(hdr_off t slot) state_empty;
     t.cons_next <- t.cons_next + 1;
     None
@@ -321,6 +357,8 @@ let try_consume t =
          claim is malformed, so the slot is skipped like any other
          malformed slot (no error path). *)
       t.counters.state_skipped <- t.counters.state_skipped + 1;
+      Metrics.inc m_state_skipped;
+      if Trace.on () then Trace.instant ~cat:Kind.l2 "slot-skip";
       write_word t actor ~off:(hdr_off t slot) state_empty;
       t.cons_next <- t.cons_next + 1;
       None
@@ -330,6 +368,8 @@ let try_consume t =
       write_word t actor ~off:(hdr_off t slot) state_empty;
       t.cons_next <- t.cons_next + 1;
       t.counters.consumed <- t.counters.consumed + 1;
+      Metrics.inc m_consumed;
+      if Trace.on () then Trace.instant ~arg:len ~cat:Kind.l2 "slot-consume";
       Some payload
     end
   end
@@ -349,10 +389,13 @@ let rec try_consume_revoke t =
   let state, len, _info, _tag = read_header t actor slot in
   if state = state_empty then begin
     t.counters.empty_polls <- t.counters.empty_polls + 1;
+    Metrics.inc m_empty_polls;
     None
   end
   else if state <> state_full then begin
     t.counters.state_skipped <- t.counters.state_skipped + 1;
+    Metrics.inc m_state_skipped;
+    if Trace.on () then Trace.instant ~arg:state ~cat:Kind.l2 "slot-skip";
     write_word t actor ~off:(hdr_off t slot) state_empty;
     t.cons_next <- t.cons_next + 1;
     None
@@ -362,6 +405,8 @@ let rec try_consume_revoke t =
     let len = min len t.lay.unit_size in
     if len = 0 then begin
       t.counters.state_skipped <- t.counters.state_skipped + 1;
+      Metrics.inc m_state_skipped;
+      if Trace.on () then Trace.instant ~cat:Kind.l2 "slot-skip";
       write_word t actor ~off:(hdr_off t slot) state_empty;
       t.cons_next <- t.cons_next + 1;
       None
@@ -385,5 +430,7 @@ and revoke_consume t actor slot ~len =
     in
     t.cons_next <- t.cons_next + 1;
     t.counters.consumed <- t.counters.consumed + 1;
+    Metrics.inc m_consumed;
+    if Trace.on () then Trace.instant ~arg:len ~cat:Kind.l2 "slot-revoke";
     Some { data; release }
   end

@@ -63,6 +63,10 @@ let budget t = t.poll_budget * t.backoff
 let reset_now t =
   t.stalls_detected <- t.stalls_detected + 1;
   Cio_observe.Recovery.stall_detected t.recovery;
+  if Cio_telemetry.Trace.on () then begin
+    Cio_telemetry.Trace.instant ~cat:Cio_telemetry.Kind.l2 "stall-detected";
+    Cio_telemetry.Trace.span_begin ~cat:Cio_telemetry.Kind.l2 "watchdog-reset"
+  end;
   Driver.hot_swap t.driver;
   t.resets <- t.resets + 1;
   Cio_observe.Recovery.reset t.recovery;
@@ -72,7 +76,9 @@ let reset_now t =
   t.tx_idle <- 0;
   t.rx_idle <- 0;
   t.backoff <- min (t.backoff * 2) t.max_backoff;
-  t.on_reset ()
+  t.on_reset ();
+  if Cio_telemetry.Trace.on () then
+    Cio_telemetry.Trace.span_end ~cat:Cio_telemetry.Kind.l2 "watchdog-reset"
 
 (* One observation per driver poll quantum. [expecting_rx] is the upper
    layer's statement that inbound data is owed (a request in flight); the

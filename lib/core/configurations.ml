@@ -21,6 +21,9 @@ open Cio_frame
 open Cio_netsim
 open Cio_tcpip
 open Cio_tls
+module Trace = Cio_telemetry.Trace
+module Metrics = Cio_telemetry.Metrics
+module Kind_ = Cio_telemetry.Kind
 
 type kind = Syscall_l5 | Passthrough_l2 | Hardened_virtio | Tunneled | Dual_boundary
 
@@ -88,6 +91,9 @@ type env = {
 
 let make_env ?(model = Cost.default) ?peer_codec ~seed ~latency_ns ~gbps ~tap_name () =
   let engine = Engine.create () in
+  (* Trace timestamps follow the run's virtual clock: same seed, same
+     trace, byte for byte. *)
+  if Trace.on () then Trace.set_clock (fun () -> Engine.now engine);
   let link = Link.create ~latency_ns ~gbps engine in
   let tap = Cio_observe.Observe.create tap_name in
   let rng = Rng.create seed in
@@ -105,9 +111,9 @@ let tap_link env ~frame_kind =
   Link.set_transit_tap env.link
     (Some
        (fun ~time ~src frame ->
-         let dir = match src with Link.A -> "out" | Link.B -> "in" in
+         let dir = match src with Link.A -> Kind_.dir_out | Link.B -> Kind_.dir_in in
          Cio_observe.Observe.record env.tap ~time
-           ~kind:(Printf.sprintf "%s-%s" frame_kind dir)
+           ~kind:(Kind_.tap ~base:frame_kind ~dir)
            ~size:(Bytes.length frame)))
 
 let neighbors_tee = [ (ip_peer, mac_peer) ]
@@ -126,11 +132,11 @@ let channel_endpoint ~channel ~pump ~host_pump ~guest_meter ~host_meter ~crossin
     crossings;
   }
 
-let make_dual env =
+let make_dual ?cionet_config env =
   let now () = Engine.now env.engine in
   let unit_ =
-    Dual.create ~model:env.model ~mac:mac_tee ~name:"dual-tee" ~ip:ip_tee ~neighbors:neighbors_tee
-      ~psk ~psk_id ~rng:(Rng.split env.rng) ~now ()
+    Dual.create ?cionet_config ~model:env.model ~mac:mac_tee ~name:"dual-tee" ~ip:ip_tee
+      ~neighbors:neighbors_tee ~psk ~psk_id ~rng:(Rng.split env.rng) ~now ()
   in
   let host_meter = Cio_cionet.Driver.host_meter (Dual.driver unit_) in
   let host =
@@ -138,7 +144,7 @@ let make_dual env =
       ~transmit:(fun frame -> Link.send env.link ~src:Link.A frame)
   in
   Link.attach env.link Link.A (fun frame -> Cio_cionet.Host_model.deliver_rx host frame);
-  tap_link env ~frame_kind:"frame";
+  tap_link env ~frame_kind:Kind_.frame;
   let channel = Dual.connect unit_ ~dst:ip_peer ~dst_port:echo_port in
   channel_endpoint ~channel
     ~pump:(fun () -> Dual.poll unit_)
@@ -181,7 +187,7 @@ let make_virtio env ~hardened =
     Stack.create ~model:env.model ~meter:guest_meter ~netif ~ip:ip_tee ~neighbors:neighbors_tee ~now
       ~rng:(Rng.split env.rng) ()
   in
-  tap_link env ~frame_kind:"frame";
+  tap_link env ~frame_kind:Kind_.frame;
   let session =
     Session.create ~model:env.model ~meter:guest_meter ~role:Session.Client ~psk ~psk_id
       ~rng:(Rng.split env.rng) ()
@@ -198,10 +204,10 @@ let make_virtio env ~hardened =
   let last_kicks = ref 0 and last_irqs = ref 0 in
   let record_notifications kicks irqs =
     for _ = 1 to kicks - !last_kicks do
-      Cio_observe.Observe.record env.tap ~time:(Engine.now env.engine) ~kind:"kick" ~size:0
+      Cio_observe.Observe.record env.tap ~time:(Engine.now env.engine) ~kind:Kind_.kick ~size:0
     done;
     for _ = 1 to irqs - !last_irqs do
-      Cio_observe.Observe.record env.tap ~time:(Engine.now env.engine) ~kind:"irq" ~size:0
+      Cio_observe.Observe.record env.tap ~time:(Engine.now env.engine) ~kind:Kind_.irq ~size:0
     done;
     last_kicks := kicks;
     last_irqs := irqs
@@ -232,7 +238,7 @@ let make_tunneled env =
     Cio_cionet.Host_model.create ~driver ~transmit:(fun frame -> Link.send env.link ~src:Link.A frame)
   in
   Link.attach env.link Link.A (fun frame -> Cio_cionet.Host_model.deliver_rx host frame);
-  tap_link env ~frame_kind:"tunnel";
+  tap_link env ~frame_kind:Kind_.tunnel;
   let base_netif = Cio_cionet.Driver.to_netif driver in
   let dummy_interval_ns = 20_000L in
   let last_tx = ref 0L in
@@ -307,7 +313,7 @@ let make_syscall env =
     Stack.create ~model:env.model ~meter:host_meter ~netif ~ip:ip_tee ~neighbors:neighbors_tee ~now
       ~rng:(Rng.split env.rng) ()
   in
-  tap_link env ~frame_kind:"frame";
+  tap_link env ~frame_kind:Kind_.frame;
   let session =
     Session.create ~model:env.model ~meter:guest_meter ~role:Session.Client ~psk ~psk_id
       ~rng:(Rng.split env.rng) ()
@@ -324,7 +330,7 @@ let make_syscall env =
   let failed = ref false in
   let push_wire wire =
     (* One send syscall per record: the host sees the call and its size. *)
-    syscall "sys-send" (Bytes.length wire);
+    syscall Kind_.sys_send (Bytes.length wire);
     Buffer.add_bytes outbox wire
   in
   let flush_outbox () =
@@ -347,11 +353,11 @@ let make_syscall env =
     (* A recv syscall only when the host has data to deliver (an
        event-driven ocall, not a busy spin). *)
     if Tcp.recv_available conn > 0 then begin
-      syscall "sys-recv" 0;
+      syscall Kind_.sys_recv 0;
       let b = Tcp.recv (Stack.tcp stack) conn ~max:65536 in
       if Bytes.length b > 0 then begin
         Cost.charge guest_meter Cost.Copy (Cost.copy_cost env.model (Bytes.length b));
-        Cio_observe.Observe.record env.tap ~time:(Engine.now env.engine) ~kind:"sys-recv-data"
+        Cio_observe.Observe.record env.tap ~time:(Engine.now env.engine) ~kind:Kind_.sys_recv_data
           ~size:(Bytes.length b);
         let result = Session.feed session b in
         List.iter push_wire result.Session.outputs;
@@ -382,8 +388,8 @@ let make_syscall env =
     crossings = (fun () -> 0);
   }
 
-let make_endpoint env = function
-  | Dual_boundary -> make_dual env
+let make_endpoint ?cionet_config env = function
+  | Dual_boundary -> make_dual ?cionet_config env
   | Passthrough_l2 -> make_virtio env ~hardened:false
   | Hardened_virtio -> make_virtio env ~hardened:true
   | Tunneled -> make_tunneled env
@@ -431,7 +437,7 @@ let make_custom env ~transport ~quarantined =
     Stack.create ~model:env.model ~meter:guest_meter ~netif ~ip:ip_tee ~neighbors:neighbors_tee ~now
       ~rng:(Rng.split env.rng) ()
   in
-  tap_link env ~frame_kind:"frame";
+  tap_link env ~frame_kind:Kind_.frame;
   let session =
     Session.create ~model:env.model ~meter:guest_meter ~role:Session.Client ~psk ~psk_id
       ~rng:(Rng.split env.rng) ()
@@ -490,7 +496,7 @@ let run_echo_custom ?(seed = 1L) ?(msg_size = 1024) ?(messages = 30) ?(window = 
    each echoed back by the peer, with a small pipelining window. *)
 let run_echo ?(seed = 1L) ?(msg_size = 1024) ?(messages = 50) ?(window = 4)
     ?(latency_ns = 10_000L) ?(gbps = 10.0) ?(quantum_ns = 2_000L) ?(max_steps = 400_000)
-    ?(model = Cost.default) kind =
+    ?(model = Cost.default) ?cionet_config kind =
   let peer_codec =
     match kind with
     | Tunneled ->
@@ -500,9 +506,14 @@ let run_echo ?(seed = 1L) ?(msg_size = 1024) ?(messages = 50) ?(window = 4)
     | _ -> None
   in
   let env = make_env ~model ?peer_codec ~seed ~latency_ns ~gbps ~tap_name:(kind_name kind) () in
-  let ep = make_endpoint env kind in
+  let ep = make_endpoint ?cionet_config env kind in
   let payload = Bytes.make msg_size 'm' in
   let sent = ref 0 and echoes = ref 0 and steps = ref 0 in
+  (* Echoes come back in order, so a FIFO of send timestamps gives each
+     round trip's virtual-time latency. *)
+  let rtt = Metrics.histogram Metrics.default ("echo.rtt_us." ^ kind_name kind) in
+  let in_flight_at : int64 Queue.t = Queue.create () in
+  let traced = Trace.on () in
   while !echoes < messages && !steps < max_steps && not (ep.failed ()) do
     incr steps;
     ep.pump ();
@@ -511,13 +522,21 @@ let run_echo ?(seed = 1L) ?(msg_size = 1024) ?(messages = 50) ?(window = 4)
     Engine.advance env.engine ~by:quantum_ns;
     if ep.established () then begin
       while !sent < messages && !sent - !echoes < window && ep.send payload do
-        incr sent
+        incr sent;
+        Queue.add (Engine.now env.engine) in_flight_at;
+        if traced then Trace.instant ~arg:msg_size ~cat:Kind_.experiment "echo-send"
       done
     end;
     let rec drain () =
       match ep.recv () with
       | Some _ ->
           incr echoes;
+          (match Queue.take_opt in_flight_at with
+          | Some t0 ->
+              let us = Int64.to_int (Int64.div (Int64.sub (Engine.now env.engine) t0) 1_000L) in
+              Metrics.observe rtt us;
+              if traced then Trace.instant ~arg:us ~cat:Kind_.experiment "echo-recv"
+          | None -> ());
           drain ()
       | None -> ()
     in

@@ -40,8 +40,14 @@ val run_echo :
   ?quantum_ns:int64 ->
   ?max_steps:int ->
   ?model:Cost.model ->
+  ?cionet_config:Cio_cionet.Config.t ->
   kind ->
   metrics
+(** Run the echo workload against one configuration. [cionet_config]
+    overrides the dual-boundary unit's device config (rx strategy,
+    positioning, notifications); other kinds ignore it. Per-echo round
+    trips are recorded into the ["echo.rtt_us.<kind>"] histogram of
+    [Cio_telemetry.Metrics.default]. *)
 
 (** {1 E16 decomposition ablation} *)
 

@@ -95,9 +95,14 @@ let io_alive t = Compartment.domain_alive t.io
    fresh PSK handshake (zero renegotiation: no session state to migrate),
    recovery is mechanical: new rings, new stack, new TCP connection, new
    session. *)
-let crash_io t = Compartment.crash_domain t.world t.io
+let crash_io t =
+  if Cio_telemetry.Trace.on () then
+    Cio_telemetry.Trace.instant ~cat:Cio_telemetry.Kind.l5 "crash-io";
+  Compartment.crash_domain t.world t.io
 
 let restart_io t =
+  if Cio_telemetry.Trace.on () then
+    Cio_telemetry.Trace.instant ~cat:Cio_telemetry.Kind.l5 "restart-io";
   if not (Compartment.domain_alive t.io) then Compartment.restart_domain t.world t.io;
   (* The old instance's shared region is revoked wholesale; the dead
      stack's connections are unreachable garbage. *)
@@ -134,6 +139,8 @@ let reconnect t ch =
   let dst, dst_port = Tcp.conn_remote (Channel.conn ch) in
   t.channels <- List.filter (fun c -> c != ch) t.channels;
   Cio_observe.Recovery.reconnect t.recovery;
+  if Cio_telemetry.Trace.on () then
+    Cio_telemetry.Trace.instant ~cat:Cio_telemetry.Kind.l5 "reconnect";
   connect t ~dst ~dst_port
 
 let listen t ~port =

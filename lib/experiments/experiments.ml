@@ -6,6 +6,8 @@
 open Cio_util
 open Cio_core
 module C = Configurations
+module Trace = Cio_telemetry.Trace
+module Kind_ = Cio_telemetry.Kind
 
 let fp = Format.fprintf
 
@@ -153,7 +155,21 @@ let e2 ppf () =
   | None -> fp ppf "  no crossover in range (copy wins throughout).@.");
   fp ppf "  shape: copies win for packet-sized messages; revocation wins for large@.";
   fp ppf "  (multi-page) transfers — matching the paper's expectation that this is@.";
-  fp ppf "  a size-dependent design choice.@."
+  fp ppf "  a size-dependent design choice.@.";
+  (* End-to-end addendum: the same copy-vs-revoke choice, but measured
+     through the full dual-boundary unit (TLS at L5, quarantined stack,
+     cionet at L2) rather than against a bare ring. This is where the
+     strategy's cost actually lands in the proposed design — and a traced
+     run of it crosses both boundaries. *)
+  fp ppf "  end-to-end (dual-boundary echo, 8 x 1 KiB):@.";
+  List.iter
+    (fun (label, strategy) ->
+      let cfg = { Cio_cionet.Config.default with Cio_cionet.Config.rx_strategy = strategy } in
+      let m = C.run_echo ~seed:7L ~messages:8 ~msg_size:1024 ~cionet_config:cfg C.Dual_boundary in
+      fp ppf "    %-8s %s, %.1f cycles/B, %d L5 crossings@." label
+        (if m.C.completed then "completed" else "DID NOT COMPLETE")
+        (C.cycles_per_byte m) m.C.crossings)
+    [ ("copy", Cio_cionet.Config.Copy_in); ("revoke", Cio_cionet.Config.Revoke) ]
 
 (* --- E3: hardening tax at the transport ------------------------------- *)
 
@@ -564,8 +580,10 @@ let e13 ppf () =
     Link.set_transit_tap link
       (Some
          (fun ~time ~src frame ->
-           let dir = match src with Link.A -> "out" | Link.B -> "in" in
-           Cio_observe.Observe.record tap ~time ~kind:("frame-" ^ dir) ~size:(Bytes.length frame)));
+           let dir = match src with Link.A -> Kind_.dir_out | Link.B -> Kind_.dir_in in
+           Cio_observe.Observe.record tap ~time
+             ~kind:(Kind_.tap ~base:Kind_.frame ~dir)
+             ~size:(Bytes.length frame)));
     let rng = Rng.create 77L in
     let now () = Engine.now engine in
     let peer =
@@ -1006,10 +1024,12 @@ let all =
 
 let find id = List.find_opt (fun (i, _, _) -> i = id) all
 
+let scoped id f ppf = Trace.with_span ~cat:Kind_.experiment id (fun () -> f ppf ())
+
 let run_one ppf id =
   match find id with
   | Some (_, _, f) ->
-      f ppf ();
+      scoped id f ppf;
       true
   | None -> false
 
@@ -1017,6 +1037,6 @@ let run_all ppf () =
   List.iter
     (fun (id, title, f) ->
       fp ppf "=== %s: %s ===@." id title;
-      f ppf ();
+      scoped id f ppf;
       fp ppf "@.")
     all

@@ -28,6 +28,12 @@ open Cio_util
 open Cio_core
 open Cio_netsim
 open Cio_cionet
+module Trace = Cio_telemetry.Trace
+module Kind = Cio_telemetry.Kind
+
+(* One span per fault, from injection to the first post-injection round
+   trip: the span's extent *is* the recovery time in virtual time. *)
+let fault_span_name kind = Format.asprintf "%a" Plan.pp_kind kind
 
 type config = {
   quantum_ns : int64;      (* engine advance per pump step *)
@@ -107,7 +113,7 @@ let tamper_tls_record frame =
       | _ -> None)
 
 type snap = {
-  s_recovery : Cio_observe.Recovery.t;
+  s_recovery : Cio_observe.Recovery.counts;
   s_confined : int;
   s_crashes : int;
   s_cycles : int;
@@ -135,6 +141,10 @@ let classify kind ~d_recovery ~d_confined ~d_crashes =
 
 let run ?(config = default_config) (plan : Plan.t) =
   let engine = Engine.create () in
+  if Trace.on () then begin
+    Trace.set_clock (fun () -> Engine.now engine);
+    Trace.span_begin ~cat:Kind.fault "campaign"
+  end;
   let link = Link.create ~latency_ns:5_000L ~gbps:10.0 engine in
   let rng = Rng.create plan.Plan.seed in
   let now () = Engine.now engine in
@@ -234,6 +244,7 @@ let run ?(config = default_config) (plan : Plan.t) =
     r.f_sent0 <- !sent;
     r.f_snap <- Some (snap ());
     Cio_observe.Recovery.fault_injected recovery;
+    if Trace.on () then Trace.span_begin ~cat:Kind.fault (fault_span_name r.f_kind);
     match r.f_kind with
     | Plan.Host_stall n -> Host_model.inject host (Host_model.Stall n)
     | Plan.Host_ring_freeze n -> Host_model.inject host (Host_model.Ring_freeze n)
@@ -323,11 +334,24 @@ let run ?(config = default_config) (plan : Plan.t) =
           (fun r ->
             if r.f_applied && r.f_resolved = None
                && (match seq with Some q -> q >= r.f_sent0 | None -> false)
-            then r.f_resolved <- Some (!steps, s))
+            then begin
+              r.f_resolved <- Some (!steps, s);
+              if Trace.on () then
+                Trace.span_end ~cat:Kind.fault (fault_span_name r.f_kind)
+            end)
           records
     | None -> ()
   done;
   Link.set_transit_tap link None;
+  if Trace.on () then begin
+    (* Close spans for faults that never resolved, then the campaign. *)
+    List.iter
+      (fun r ->
+        if r.f_applied && r.f_resolved = None then
+          Trace.span_end ~cat:Kind.fault (fault_span_name r.f_kind))
+      records;
+    Trace.span_end ~cat:Kind.fault "campaign"
+  end;
   let end_snap = snap () in
   let faults =
     List.map

@@ -1,28 +1,62 @@
 (* Fault/recovery counters for the self-healing datapath.
 
-   One record shared by the driver watchdog (stall detection, ring
+   One live record shared by the driver watchdog (stall detection, ring
    resets), the dual-boundary unit (I/O-domain crash/restart, channel
-   reconnects) and the fault-campaign engine (injections). Deliberately
-   plain mutable counters: campaign reports embed a snapshot, and the
-   quickstart prints them next to the cost meter. *)
+   reconnects) and the fault-campaign engine (injections). Consumers
+   only ever see immutable [counts] snapshots; the old API returned the
+   mutable record itself and merely promised not to touch it.
+
+   Mutators additionally bump process-wide telemetry counters. Several
+   [t]s can be live at once (each Dual unit owns one), so the metrics
+   are the aggregate across all of them. *)
+
+module Metrics = Cio_telemetry.Metrics
 
 type t = {
-  mutable faults_injected : int;
-  mutable stalls_detected : int;
-  mutable resets : int;
-  mutable reconnects : int;
+  mutable live_faults : int;
+  mutable live_stalls : int;
+  mutable live_resets : int;
+  mutable live_reconnects : int;
 }
 
-let create () = { faults_injected = 0; stalls_detected = 0; resets = 0; reconnects = 0 }
+type counts = {
+  faults_injected : int;
+  stalls_detected : int;
+  resets : int;
+  reconnects : int;
+}
 
-let fault_injected t = t.faults_injected <- t.faults_injected + 1
-let stall_detected t = t.stalls_detected <- t.stalls_detected + 1
-let reset t = t.resets <- t.resets + 1
-let reconnect t = t.reconnects <- t.reconnects + 1
+let m_faults = Metrics.counter Metrics.default "recovery.faults_injected"
+let m_stalls = Metrics.counter Metrics.default "recovery.stalls_detected"
+let m_resets = Metrics.counter Metrics.default "recovery.resets"
+let m_reconnects = Metrics.counter Metrics.default "recovery.reconnects"
+
+let create () =
+  { live_faults = 0; live_stalls = 0; live_resets = 0; live_reconnects = 0 }
+
+let fault_injected t =
+  t.live_faults <- t.live_faults + 1;
+  Metrics.inc m_faults
+
+let stall_detected t =
+  t.live_stalls <- t.live_stalls + 1;
+  Metrics.inc m_stalls
+
+let reset t =
+  t.live_resets <- t.live_resets + 1;
+  Metrics.inc m_resets
+
+let reconnect t =
+  t.live_reconnects <- t.live_reconnects + 1;
+  Metrics.inc m_reconnects
 
 let snapshot t =
-  { faults_injected = t.faults_injected; stalls_detected = t.stalls_detected;
-    resets = t.resets; reconnects = t.reconnects }
+  {
+    faults_injected = t.live_faults;
+    stalls_detected = t.live_stalls;
+    resets = t.live_resets;
+    reconnects = t.live_reconnects;
+  }
 
 let diff ~before ~after =
   {
@@ -32,6 +66,6 @@ let diff ~before ~after =
     reconnects = after.reconnects - before.reconnects;
   }
 
-let pp ppf t =
+let pp ppf c =
   Format.fprintf ppf "faults injected %d, stalls detected %d, resets %d, reconnects %d"
-    t.faults_injected t.stalls_detected t.resets t.reconnects
+    c.faults_injected c.stalls_detected c.resets c.reconnects

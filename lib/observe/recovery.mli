@@ -1,12 +1,23 @@
 (** Fault/recovery counters shared by the driver watchdog, the
-    dual-boundary unit and the fault-campaign engine. *)
+    dual-boundary unit and the fault-campaign engine.
 
-type t = {
-  mutable faults_injected : int;
-  mutable stalls_detected : int;
-  mutable resets : int;
-  mutable reconnects : int;
+    A live [t] is mutable and private to this module; consumers read it
+    through {!snapshot}, which returns a plain immutable {!counts}
+    record. Every mutation is mirrored into the process-wide
+    [Cio_telemetry.Metrics.default] registry under [recovery.*], so the
+    self-healing story shows up in metric snapshots and [--json] bench
+    output without extra plumbing. *)
+
+type t
+(** Live, mutable counter set. *)
+
+type counts = {
+  faults_injected : int;
+  stalls_detected : int;
+  resets : int;
+  reconnects : int;
 }
+(** Immutable snapshot / delta. *)
 
 val create : unit -> t
 
@@ -15,9 +26,8 @@ val stall_detected : t -> unit
 val reset : t -> unit
 val reconnect : t -> unit
 
-val snapshot : t -> t
-(** Immutable copy (the result is never mutated by this module). *)
+val snapshot : t -> counts
 
-val diff : before:t -> after:t -> t
+val diff : before:counts -> after:counts -> counts
 
-val pp : Format.formatter -> t -> unit
+val pp : Format.formatter -> counts -> unit

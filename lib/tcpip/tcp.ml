@@ -110,7 +110,22 @@ type t = {
   mutable next_ephemeral : int;
   mutable segments_in : int;
   mutable segments_out : int;
+  mutable retransmits : int;
 }
+
+let m_segments_in = Cio_telemetry.Metrics.counter Cio_telemetry.Metrics.default "tcp.segments_in"
+let m_segments_out = Cio_telemetry.Metrics.counter Cio_telemetry.Metrics.default "tcp.segments_out"
+let m_retransmits = Cio_telemetry.Metrics.counter Cio_telemetry.Metrics.default "tcp.retransmits"
+let m_segment_bytes =
+  Cio_telemetry.Metrics.histogram Cio_telemetry.Metrics.default "tcp.segment_bytes"
+
+(* Both retransmission paths (triple-dup-ack fast retransmit and RTO
+   expiry) funnel through here. *)
+let note_retransmit t =
+  t.retransmits <- t.retransmits + 1;
+  Cio_telemetry.Metrics.inc m_retransmits;
+  if Cio_telemetry.Trace.on () then
+    Cio_telemetry.Trace.instant ~cat:Cio_telemetry.Kind.tcp "retransmit"
 
 let create ?(default_mss = 1460) ?(base_rto_ns = 200_000_000L) ?(max_retries = 8)
     ?(model = Cost.default) ?meter ~local_ip ~send_segment ~now ~rng () =
@@ -134,11 +149,13 @@ let create ?(default_mss = 1460) ?(base_rto_ns = 200_000_000L) ?(max_retries = 8
     next_ephemeral = 49152 + Rng.int rng 16_000;
     segments_in = 0;
     segments_out = 0;
+    retransmits = 0;
   }
 
 let meter t = t.meter
 let segments_in t = t.segments_in
 let segments_out t = t.segments_out
+let retransmits t = t.retransmits
 
 let conn_state c = c.state
 let conn_error c = c.error
@@ -166,6 +183,8 @@ let emit t conn ?(payload = Bytes.empty) ?(syn = false) ?(fin = false) ?(rst = f
     }
   in
   t.segments_out <- t.segments_out + 1;
+  Cio_telemetry.Metrics.inc m_segments_out;
+  Cio_telemetry.Metrics.observe m_segment_bytes (Bytes.length payload);
   charge_stack t (Bytes.length payload);
   t.send_segment ~dst:conn.remote_ip (Tcp_wire.build ~src_ip:t.local_ip ~dst_ip:conn.remote_ip seg)
 
@@ -195,6 +214,7 @@ let send_rst t ~dst ~(to_seg : Tcp_wire.t) =
       }
     in
     t.segments_out <- t.segments_out + 1;
+    Cio_telemetry.Metrics.inc m_segments_out;
     charge_stack t 0;
     t.send_segment ~dst (Tcp_wire.build ~src_ip:t.local_ip ~dst_ip:dst seg)
   end
@@ -458,6 +478,7 @@ let process_ack t c (seg : Tcp_wire.t) =
           c.cwnd <- c.ssthresh;
           e.retries <- e.retries + 1;
           e.sent_at <- t.now ();
+          note_retransmit t;
           emit t c ~payload:e.rpayload ~syn:e.rsyn ~fin:e.rfin ~seq:e.rseq ()
       | [] -> ()
     end
@@ -572,6 +593,7 @@ let handle_synreceived t c l (seg : Tcp_wire.t) =
 
 let input t ~src (seg : Tcp_wire.t) =
   t.segments_in <- t.segments_in + 1;
+  Cio_telemetry.Metrics.inc m_segments_in;
   charge_stack t (Bytes.length seg.Tcp_wire.payload);
   match
     find_conn t ~local_port:seg.Tcp_wire.dst_port ~remote_ip:src ~remote_port:seg.Tcp_wire.src_port
@@ -628,6 +650,7 @@ let tick t =
                 c.ssthresh <- max (in_flight c / 2) (2 * c.mss);
                 c.cwnd <- c.mss;
                 c.rtx_deadline <- Some (Int64.add now c.rto_ns);
+                note_retransmit t;
                 if e.rsyn && c.state = Syn_sent then
                   emit t c ~payload:e.rpayload ~syn:true ~ack:false ~seq:e.rseq ()
                 else emit t c ~payload:e.rpayload ~syn:e.rsyn ~fin:e.rfin ~seq:e.rseq ()

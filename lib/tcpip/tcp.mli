@@ -45,6 +45,9 @@ val meter : t -> Cost.meter
 val segments_in : t -> int
 val segments_out : t -> int
 
+val retransmits : t -> int
+(** Segments re-sent by either recovery path (fast retransmit or RTO). *)
+
 val conn_state : conn -> state
 val conn_error : conn -> string option
 val conn_id : conn -> int

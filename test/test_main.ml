@@ -17,6 +17,7 @@ let () =
       ("storage", Test_storage.suite);
       ("dda", Test_dda.suite);
       ("observe-tcb", Test_observe_tcb.suite);
+      ("telemetry", Test_telemetry.suite);
       ("packed", Test_packed.suite);
       ("fault", Test_fault.suite);
       ("extensions", Test_extensions.suite);
