@@ -43,6 +43,25 @@ let test_ring_roundtrip positioning name =
          Cio_cionet.Host_model.poll host;
          ignore (Cio_cionet.Driver.poll drv)))
 
+(* Burst datapath: one run moves [depth] frames end to end (burst
+   transmit -> host burst drain/refill -> burst receive, buffers
+   recycled), so ns/run ÷ depth is comparable with the single-slot
+   round-trip above. *)
+let test_ring_burst positioning name ~depth =
+  let cfg =
+    { Cio_cionet.Config.default with Cio_cionet.Config.positioning; ring_slots = 128 }
+  in
+  let drv = Cio_cionet.Driver.create ~name:(Printf.sprintf "bench-burst-d%d-%s" depth name) cfg in
+  let host = Cio_cionet.Host_model.create ~driver:drv ~transmit:(fun _ -> ()) in
+  let batch = Array.make depth (Bytes.make 1024 'b') in
+  Test.make ~name:(Printf.sprintf "cionet-burst-d%d-%s" depth name)
+    (Staged.stage (fun () ->
+         ignore (Cio_cionet.Driver.transmit_burst drv batch);
+         Cio_cionet.Host_model.poll host;
+         Array.iter (Cio_cionet.Host_model.deliver_rx host) batch;
+         Cio_cionet.Host_model.poll host;
+         List.iter (Cio_cionet.Driver.recycle drv) (Cio_cionet.Driver.poll_burst ~max:depth drv)))
+
 let test_cionet_revoke () =
   let cfg = { Cio_cionet.Config.default with Cio_cionet.Config.rx_strategy = Cio_cionet.Config.Revoke } in
   let drv = Cio_cionet.Driver.create ~name:"bench-revoke" cfg in
@@ -152,37 +171,52 @@ let test_dda () =
       Test.make ~name:"dda-transfer-4KiB"
         (Staged.stage (fun () -> ignore (Cio_dda.Dda.transfer t payload)))
 
-let micro_tests () =
-  Test.make_grouped ~name:"cio"
-    ([
-       test_ring_roundtrip (Cio_cionet.Config.Inline { data_capacity = 4096 }) "inline";
-       test_ring_roundtrip (Cio_cionet.Config.Pool { pool_slots = 128; pool_slot_size = 2048 }) "pool";
-       test_ring_roundtrip
-         (Cio_cionet.Config.Indirect { desc_count = 128; pool_slots = 128; pool_slot_size = 2048 })
-         "indirect";
-       test_cionet_revoke ();
-       test_virtio ~hardened:false "virtio-unhardened";
-       test_virtio ~hardened:true "virtio-hardened";
-       test_packed ~hardened:false "packed-unhardened";
-       test_packed ~hardened:true "packed-hardened";
-       test_tls_record ();
-       test_compartment_call ();
-       test_storage ();
-       test_dda ();
-     ]
+let micro_tests ?(smoke = false) () =
+  (* The cionet subset is the perf trajectory CI tracks against
+     BENCH_baseline.json; --smoke runs only these. *)
+  let cionet =
+    [
+      test_ring_roundtrip (Cio_cionet.Config.Inline { data_capacity = 4096 }) "inline";
+      test_ring_roundtrip (Cio_cionet.Config.Pool { pool_slots = 128; pool_slot_size = 2048 }) "pool";
+      test_ring_roundtrip
+        (Cio_cionet.Config.Indirect { desc_count = 128; pool_slots = 128; pool_slot_size = 2048 })
+        "indirect";
+      test_cionet_revoke ();
+      test_ring_burst (Cio_cionet.Config.Inline { data_capacity = 4096 }) "inline" ~depth:16;
+      test_ring_burst (Cio_cionet.Config.Pool { pool_slots = 256; pool_slot_size = 2048 }) "pool"
+        ~depth:16;
+      test_ring_burst
+        (Cio_cionet.Config.Indirect { desc_count = 256; pool_slots = 256; pool_slot_size = 2048 })
+        "indirect" ~depth:16;
+      test_ring_burst (Cio_cionet.Config.Inline { data_capacity = 4096 }) "inline" ~depth:64;
+    ]
+  in
+  let full =
+    [
+      test_virtio ~hardened:false "virtio-unhardened";
+      test_virtio ~hardened:true "virtio-hardened";
+      test_packed ~hardened:false "packed-unhardened";
+      test_packed ~hardened:true "packed-hardened";
+      test_tls_record ();
+      test_compartment_call ();
+      test_storage ();
+      test_dda ();
+    ]
     @ test_crypto_primitives ()
-    @ List.map test_echo_configuration Cio_core.Configurations.all_kinds)
+    @ List.map test_echo_configuration Cio_core.Configurations.all_kinds
+  in
+  Test.make_grouped ~name:"cio" (if smoke then cionet else cionet @ full)
 
 let () = Bechamel_notty.Unit.add Instance.monotonic_clock "ns"
 
 (* Returns the merged OLS results so the --json path can extract ns/run
    per test after the notty table has been printed. *)
-let run_micro () =
+let run_micro ?(smoke = false) () =
   Fmt.pr "@.=== Bechamel micro-benchmarks (wall time of this implementation) ===@.";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
-  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let raw = Benchmark.all cfg instances (micro_tests ~smoke ()) in
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
   let results = Analyze.merge ols instances results in
   let window =
@@ -265,7 +299,7 @@ let write_json ~file ~mode ~smoke ~experiments ~micro =
   Fmt.pr "wrote %s@." file
 
 (* Fast, information-dense subset for CI smoke runs. *)
-let smoke_ids = [ "fig2"; "fig3"; "fig4"; "e1"; "e2"; "e11" ]
+let smoke_ids = [ "fig2"; "fig3"; "fig4"; "e1"; "e2"; "e11"; "e21" ]
 
 (* Run one experiment, teeing its output to stdout and into the
    accumulator for --json. *)
@@ -307,13 +341,13 @@ let () =
     match words with
     | [] ->
         run_tables ();
-        let r = run_micro () in
+        let r = run_micro ~smoke () in
         ("all", micro_ns_per_run r)
     | [ "tables" ] ->
         run_tables ();
         ("tables", [])
     | [ "micro" ] ->
-        let r = run_micro () in
+        let r = run_micro ~smoke () in
         ("micro", micro_ns_per_run r)
     | ids ->
         let ok = List.for_all (fun id -> run_captured acc id) ids in

@@ -12,6 +12,8 @@ module Kind = Cio_telemetry.Kind
 let m_tx = Metrics.counter Metrics.default "driver.tx_frames"
 let m_rx = Metrics.counter Metrics.default "driver.rx_frames"
 let m_kicks = Metrics.counter Metrics.default "driver.doorbells"
+let m_kicks_coalesced = Metrics.counter Metrics.default "driver.doorbells_coalesced"
+let m_batch_depth = Metrics.histogram Metrics.default "batch.depth"
 let m_swaps = Metrics.counter Metrics.default "driver.hot_swaps"
 
 type instance = {
@@ -30,6 +32,8 @@ type t = {
   mutable generation : int;  (* bumped on every hot swap *)
   mutable tx_frames : int;
   mutable rx_frames : int;
+  pool : Bufpool.t;       (* RX buffer recycling; stable across hot swaps *)
+  pad_scratch : bytes option;  (* preallocated pad buffer (pad_frames only) *)
 }
 
 let config_bytes = 64
@@ -80,6 +84,10 @@ let create ?(model = Cost.default) ?meter ?host_meter ~name (config : Config.t) 
     generation = 0;
     tx_frames = 0;
     rx_frames = 0;
+    pool = Bufpool.create ();
+    pad_scratch =
+      (if config.Config.pad_frames then Some (Bytes.create (config.Config.mtu + 14))
+       else None);
   }
 
 let region t = t.inst.region
@@ -110,33 +118,85 @@ let hot_swap t =
   Metrics.inc m_swaps;
   if Trace.on () then Trace.span_end ~cat:Kind.l2 "hot-swap"
 
+(* One doorbell covers [n] produced frames: the kick is stateless and
+   idempotent ("look at the ring"), so coalescing is free of protocol
+   state — the host drains everything it finds regardless of how many
+   kicks arrived. *)
+let kick t n =
+  if n > 0 && t.config.Config.use_notifications then begin
+    Cost.charge (guest_meter t) Cost.Notification t.model.Cost.notification;
+    Metrics.inc m_kicks;
+    if n > 1 then Metrics.add m_kicks_coalesced (n - 1);
+    if Trace.on () then Trace.instant ~cat:Kind.l2 Kind.kick
+  end
+
+(* Size padding: the host sees uniform frames. Receivers strip the
+   padding via the IPv4 total-length field. The scratch buffer is safe to
+   reuse because [try_produce] copies the payload into the region before
+   returning. *)
+let pad t frame =
+  match t.pad_scratch with
+  | Some scratch when Bytes.length frame < Bytes.length scratch ->
+      let len = Bytes.length frame in
+      Bytes.blit frame 0 scratch 0 len;
+      Bytes.fill scratch len (Bytes.length scratch - len) '\000';
+      scratch
+  | _ -> frame
+
 let transmit t frame =
-  let frame =
-    if t.config.Config.pad_frames && Bytes.length frame < t.config.Config.mtu + 14 then begin
-      (* Size padding: the host sees uniform frames. Receivers strip the
-         padding via the IPv4 total-length field. *)
-      let padded = Bytes.make (t.config.Config.mtu + 14) '\000' in
-      Bytes.blit frame 0 padded 0 (Bytes.length frame);
-      padded
-    end
-    else frame
-  in
+  let frame = pad t frame in
   let traced = Trace.on () in
   if traced then Trace.span_begin ~cat:Kind.l2 "tx";
   let ok = Ring.try_produce t.inst.tx frame in
   if ok then begin
     t.tx_frames <- t.tx_frames + 1;
     Metrics.inc m_tx;
-    if t.config.Config.use_notifications then begin
-      (* Optional doorbell for E11: stateless and idempotent — it carries
-         no data, only "look at the ring". *)
-      Cost.charge (guest_meter t) Cost.Notification t.model.Cost.notification;
-      Metrics.inc m_kicks;
-      if traced then Trace.instant ~cat:Kind.l2 Kind.kick
-    end
+    kick t 1
   end;
   if traced then Trace.span_end ~cat:Kind.l2 "tx";
   ok
+
+(* Burst transmit: one ring crossing, one doorbell, for the whole batch.
+   Padded short frames are staged in pool buffers (recycled immediately
+   after the ring copies them out), so the burst path performs no
+   per-frame allocation in steady state. Returns how many frames went
+   in; the tail of the batch is the caller's to retry. *)
+let transmit_burst t frames =
+  let n_in = Array.length frames in
+  if n_in = 0 then 0
+  else begin
+    let traced = Trace.on () in
+    if traced then Trace.span_begin ~cat:Kind.l2 "tx-burst";
+    let cap = t.config.Config.mtu + 14 in
+    let staged =
+      if not t.config.Config.pad_frames then frames
+      else
+        Array.map
+          (fun frame ->
+            if Bytes.length frame >= cap then frame
+            else begin
+              let padded = Bufpool.acquire t.pool cap in
+              let len = Bytes.length frame in
+              Bytes.blit frame 0 padded 0 len;
+              Bytes.fill padded len (cap - len) '\000';
+              padded
+            end)
+          frames
+    in
+    let n = Ring.try_produce_burst t.inst.tx staged in
+    if t.config.Config.pad_frames then
+      Array.iteri
+        (fun i b -> if b != frames.(i) then Bufpool.recycle t.pool b)
+        staged;
+    if n > 0 then begin
+      t.tx_frames <- t.tx_frames + n;
+      Metrics.add m_tx n;
+      Metrics.observe m_batch_depth n;
+      kick t n
+    end;
+    if traced then Trace.span_end ~cat:Kind.l2 "tx-burst";
+    n
+  end
 
 let got_rx t frame =
   t.rx_frames <- t.rx_frames + 1;
@@ -147,11 +207,11 @@ let got_rx t frame =
 let poll t =
   match t.config.Config.rx_strategy with
   | Config.Copy_in ->
-      let r = Ring.try_consume t.inst.rx in
+      let r = Ring.try_consume ~pool:t.pool t.inst.rx in
       (match r with Some f -> got_rx t f | None -> ());
       r
   | Config.Revoke -> (
-      match Ring.try_consume_revoke t.inst.rx with
+      match Ring.try_consume_revoke ~pool:t.pool t.inst.rx with
       | None -> None
       | Some zc ->
           got_rx t zc.Ring.data;
@@ -160,6 +220,30 @@ let poll t =
              pages were private, which is the property that matters. *)
           zc.Ring.release ();
           Some zc.Ring.data)
+
+(* Burst receive: drain up to [max] frames in one crossing. In [Revoke]
+   mode the whole contiguous run is revoked with a single shootdown and
+   released immediately — every returned buffer is a private snapshot. *)
+let poll_burst ?(max = 64) t =
+  let frames =
+    match t.config.Config.rx_strategy with
+    | Config.Copy_in -> Ring.try_consume_burst ~pool:t.pool ~max t.inst.rx
+    | Config.Revoke -> (
+        match Ring.try_consume_revoke_burst ~pool:t.pool ~max t.inst.rx with
+        | None -> []
+        | Some zcb ->
+            zcb.Ring.release ();
+            zcb.Ring.frames)
+  in
+  (match frames with
+  | [] -> ()
+  | _ ->
+      Metrics.observe m_batch_depth (List.length frames);
+      List.iter (fun f -> got_rx t f) frames);
+  frames
+
+let recycle t b = Bufpool.recycle t.pool b
+let pool t = t.pool
 
 let poll_zero_copy t =
   match Ring.try_consume_revoke t.inst.rx with

@@ -36,6 +36,24 @@ val hot_swap : t -> unit
 val transmit : t -> bytes -> bool
 val poll : t -> bytes option
 
+val transmit_burst : t -> bytes array -> int
+(** Place up to a whole batch in one ring crossing with at most one
+    doorbell (coalesced under [use_notifications]); returns how many
+    frames went in. Short frames are padded via pool buffers when
+    [pad_frames] is set — no per-frame allocation in steady state. *)
+
+val poll_burst : ?max:int -> t -> bytes list
+(** Drain up to [max] (default 64) RX frames in one crossing, FIFO. In
+    [Revoke] mode the contiguous run is revoked under a single shootdown
+    and released before returning; every buffer is an owned snapshot. *)
+
+val recycle : t -> bytes -> unit
+(** Return a frame buffer handed out by {!poll}/{!poll_burst} to the
+    driver's pool once the caller is done with it. *)
+
+val pool : t -> Cio_mem.Bufpool.t
+(** The driver's RX/staging buffer pool (stable across hot swaps). *)
+
 val poll_zero_copy : t -> Ring.zero_copy option
 (** Revocation receive that keeps the slot until [release] (for callers
     that can consume in place). *)

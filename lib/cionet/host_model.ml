@@ -42,6 +42,7 @@ type t = {
   mutable driver_tx : Ring.t;  (* we consume *)
   mutable driver_rx : Ring.t;  (* we produce *)
   transmit : bytes -> unit;
+  pool : Bufpool.t;  (* staging buffers for pending RX frames *)
   pending_rx : bytes Queue.t;
   mutable misbehaviors : misbehavior list;
   mutable last_frame : bytes option;
@@ -60,6 +61,7 @@ let create ~(driver : Driver.t) ~transmit =
     driver_tx = Driver.tx_ring driver;
     driver_rx = Driver.rx_ring driver;
     transmit;
+    pool = Bufpool.create ();
     pending_rx = Queue.create ();
     misbehaviors = [];
     last_frame = None;
@@ -113,8 +115,14 @@ let take t pred =
 
 let deliver_rx t frame =
   (* Zero-length frames are meaningless on the ring (and rejected by it);
-     a real device would not generate them either. *)
-  if Bytes.length frame > 0 then Queue.add (Bytes.copy frame) t.pending_rx
+     a real device would not generate them either. The staging copy comes
+     from the host's pool so steady-state forwarding reuses buffers. *)
+  if Bytes.length frame > 0 then begin
+    let len = Bytes.length frame in
+    let copy = Bufpool.acquire t.pool len in
+    Bytes.blit frame 0 copy 0 len;
+    Queue.add copy t.pending_rx
+  end
 
 (* Post-produce header corruption for the attack experiments: the honest
    produce path wrote a well-formed slot; the hostile host then scribbles
@@ -177,15 +185,20 @@ let poll t =
        means its reset loses nothing the transport cannot replay. *)
     t.stall_polls <- t.stall_polls - 1
   else begin
-  (* TX direction: drain the guest's ring and forward. *)
+  (* TX direction: drain the guest's ring in bursts and forward in FIFO
+     order. A fault mid-burst (revoked pages, e.g. a hot swap racing the
+     drain) loses the in-flight batch, exactly like a cable pull. *)
   let rec drain_tx () =
-    match Ring.try_consume t.driver_tx with
-    | Some frame ->
-        t.stats.tx_forwarded <- t.stats.tx_forwarded + 1;
-        Metrics.inc m_tx_forwarded;
-        t.transmit frame;
+    match Ring.try_consume_burst ~max:64 t.driver_tx with
+    | [] -> ()
+    | frames ->
+        List.iter
+          (fun frame ->
+            t.stats.tx_forwarded <- t.stats.tx_forwarded + 1;
+            Metrics.inc m_tx_forwarded;
+            t.transmit frame)
+          frames;
         drain_tx ()
-    | None -> ()
     | exception Region.Fault _ ->
         t.stats.faults <- t.stats.faults + 1;
         Metrics.inc m_faults;
@@ -241,12 +254,55 @@ let poll t =
           ignore (Queue.take t.pending_rx)
     end
   in
+  (* Fast path: no misbehaviour pending and the whole region shared means
+     burst produce cannot take a per-frame detour (corruption, sabotage,
+     replay) or fault slot-by-slot; inject whole batches and recycle the
+     staging buffers the ring has already copied out. [last_frame] keeps
+     the newest buffer un-recycled because a later slow-path replay may
+     republish it. *)
+  let rec fill_rx_burst () =
+    let k = min 64 (Queue.length t.pending_rx) in
+    if k > 0 then begin
+      let frames = Array.init k (fun _ -> Queue.take t.pending_rx) in
+      match Ring.try_produce_burst t.driver_rx frames with
+      | n ->
+          if n > 0 then begin
+            t.stats.rx_injected <- t.stats.rx_injected + n;
+            Metrics.add m_rx_injected n;
+            for i = 0 to n - 2 do
+              Bufpool.recycle t.pool frames.(i)
+            done;
+            t.last_frame <- Some frames.(n - 1)
+          end;
+          if n < k then begin
+            (* Ring full: put the unproduced tail back at the head. *)
+            let leftovers = Queue.create () in
+            for i = n to k - 1 do
+              Queue.add frames.(i) leftovers
+            done;
+            Queue.transfer t.pending_rx leftovers;
+            Queue.transfer leftovers t.pending_rx
+          end
+          else fill_rx_burst ()
+      | exception Region.Fault _ ->
+          t.stats.faults <- t.stats.faults + 1;
+          Metrics.inc m_faults;
+          if Trace.on () then Trace.instant ~cat:Kind.l2 "host-fault"
+    end
+  in
   if t.freeze_polls > 0 then
     (* Ring freeze: the host still drains TX (the guest sees forward
        progress on sends) but the RX ring goes quiet — a one-directional
        stall that only an RX-aware watchdog deadline catches. *)
     t.freeze_polls <- t.freeze_polls - 1
-  else fill_rx ()
+  else begin
+    let region = Ring.region t.driver_rx in
+    if
+      t.misbehaviors = [] && t.drop_frames = 0
+      && Region.range_shared region 0 (Region.size region)
+    then fill_rx_burst ()
+    else fill_rx ()
+  end
   end
 
 let pending_rx_count t = Queue.length t.pending_rx

@@ -35,15 +35,19 @@ let queue_count t = Array.length t.queues
 let queue t i = t.queues.(i)
 let queues t = Array.to_list t.queues
 
-(* Fixed flow steering: same hash, same queue, always. *)
-let queue_for t ~flow_hash = flow_hash land (Array.length t.queues - 1)
+(* Fixed flow steering: same hash, same queue, always. Power-of-two
+   counts use the mask; other counts fall back to a sign-safe modulo (a
+   bare [mod] goes negative for negative hashes). *)
+let queue_for t ~flow_hash =
+  let n = Array.length t.queues in
+  if n land (n - 1) = 0 then flow_hash land (n - 1)
+  else ((flow_hash mod n) + n) mod n
 
 let transmit t ~flow_hash frame =
-  (* Non-power-of-two queue counts use modulo; power-of-two uses the
-     mask. Either way the mapping never changes at runtime. *)
-  let n = Array.length t.queues in
-  let q = if n land (n - 1) = 0 then queue_for t ~flow_hash else flow_hash mod n in
-  Driver.transmit t.queues.(q) frame
+  Driver.transmit t.queues.(queue_for t ~flow_hash) frame
+
+let transmit_burst t ~flow_hash frames =
+  Driver.transmit_burst t.queues.(queue_for t ~flow_hash) frames
 
 let poll t =
   (* Drain one frame, round-robin across queues for fairness. *)
@@ -59,6 +63,25 @@ let poll t =
     end
   in
   go 0
+
+(* Burst drain: visit each queue once starting from the round-robin
+   cursor, taking up to the remaining budget from each, so one busy queue
+   cannot starve the others and a single poll can move a whole batch
+   (the old one-frame-per-poll drain was the multi-queue bottleneck). *)
+let poll_burst ?(max = 64) t =
+  let n = Array.length t.queues in
+  let left = ref max in
+  let acc = ref [] in
+  for _ = 0 to n - 1 do
+    if !left > 0 then begin
+      let q = t.rx_next in
+      t.rx_next <- (t.rx_next + 1) mod n;
+      let frames = Driver.poll_burst ~max:!left t.queues.(q) in
+      left := !left - List.length frames;
+      acc := List.rev_append frames !acc
+    end
+  done;
+  List.rev !acc
 
 let total_cycles t =
   Array.fold_left (fun acc q -> acc + Cost.total (Driver.guest_meter q)) 0 t.queues

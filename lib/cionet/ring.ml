@@ -173,9 +173,17 @@ let hdr_off t slot = t.base + t.lay.hdr_off + (header_bytes * (slot land (t.slot
 let unit_off t u = t.base + t.lay.data_off + (t.lay.unit_size * (u land (t.lay.units - 1)))
 let desc_off t d = t.base + t.lay.desc_off + (8 * (d land (max t.lay.desc_count 1 - 1)))
 
+(* Cost of one ring word/header access. The first access of a crossing
+   pays [ring_op] in full (cache miss + cursor bookkeeping); subsequent
+   slots of the same burst touch adjacent lines and pay [ring_burst_op].
+   Only ring words amortize — validation checks and payload copies are
+   per-message work and always charge in full. *)
+let ring_word_cost t ~amortized =
+  if amortized then t.model.Cost.ring_burst_op else t.model.Cost.ring_op
+
 (* Single-fetch header read: one 16-byte pull, decoded privately. *)
-let read_header t actor slot =
-  charge t actor Cost.Ring t.model.Cost.ring_op;
+let read_header ?(amortized = false) t actor slot =
+  charge t actor Cost.Ring (ring_word_cost t ~amortized);
   let b =
     match actor with
     | Region.Guest -> Region.guest_read t.region ~off:(hdr_off t slot) ~len:header_bytes
@@ -187,8 +195,8 @@ let read_header t actor slot =
   let tag = Int32.to_int (Bytes.get_int32_le b 12) land 0xFFFFFFFF in
   (state, len, info, tag)
 
-let write_word t actor ~off v =
-  charge t actor Cost.Ring t.model.Cost.ring_op;
+let write_word ?(amortized = false) t actor ~off v =
+  charge t actor Cost.Ring (ring_word_cost t ~amortized);
   Region.write_u32 t.region actor ~off v
 
 let write_payload t actor ~off payload =
@@ -198,13 +206,18 @@ let write_payload t actor ~off payload =
       Region.host_write t.region ~off payload;
       charge t actor Cost.Dma (Cost.dma_cost t.model (Bytes.length payload))
 
-let read_payload t actor ~off ~len =
-  match actor with
-  | Region.Guest -> Region.copy_in t.region ~off ~len
+(* The consumer's one early copy. With a [pool] the destination buffer is
+   recycled instead of freshly allocated — same charges either way. *)
+let read_payload ?pool t actor ~off ~len =
+  let b =
+    match pool with Some p -> Bufpool.acquire p len | None -> Bytes.create len
+  in
+  (match actor with
+  | Region.Guest -> Region.copy_in_into t.region ~off b
   | Region.Host ->
-      let b = Region.host_read t.region ~off ~len in
-      charge t actor Cost.Dma (Cost.dma_cost t.model len);
-      b
+      Region.host_read_into t.region ~off b;
+      charge t actor Cost.Dma (Cost.dma_cost t.model len));
+  b
 
 (* Reclaim the payload unit a ring slot was last bound to (producer
    private bookkeeping; the "free" control message is the slot's return
@@ -216,13 +229,13 @@ let reclaim_binding t slot =
       t.bindings.(slot land (t.slots - 1)) <- None;
       Queue.add u t.free_units
 
-let try_produce t payload =
+let produce_one t ~amortized payload =
   let actor = t.producer in
   let len = Bytes.length payload in
   if len > t.lay.unit_size then invalid_arg "Ring.try_produce: payload larger than slot capacity";
   if len = 0 then invalid_arg "Ring.try_produce: messages carry at least one byte";
   let slot = t.prod_next land (t.slots - 1) in
-  let state, _, _, _ = read_header t actor slot in
+  let state, _, _, _ = read_header t ~amortized actor slot in
   if state <> state_empty then begin
     t.counters.full_misses <- t.counters.full_misses + 1;
     Metrics.inc m_full_misses;
@@ -256,18 +269,18 @@ let try_produce t payload =
               write_payload t actor ~off:(unit_off t u) payload;
               let d = t.next_desc land (t.lay.desc_count - 1) in
               t.next_desc <- t.next_desc + 1;
-              write_word t actor ~off:(desc_off t d) (unit_off t u - (t.base + t.lay.data_off));
-              write_word t actor ~off:(desc_off t d + 4) len;
+              write_word t ~amortized actor ~off:(desc_off t d) (unit_off t u - (t.base + t.lay.data_off));
+              write_word t ~amortized actor ~off:(desc_off t d + 4) len;
               d)
     in
     if info < 0 then false
     else begin
       (* Publish: len and info first, state FULL last. *)
-      write_word t actor ~off:(hdr_off t slot + 4) len;
-      write_word t actor ~off:(hdr_off t slot + 8) info;
-      write_word t actor ~off:(hdr_off t slot + 12) (t.next_tag land 0xFFFFFFFF);
+      write_word t ~amortized actor ~off:(hdr_off t slot + 4) len;
+      write_word t ~amortized actor ~off:(hdr_off t slot + 8) info;
+      write_word t ~amortized actor ~off:(hdr_off t slot + 12) (t.next_tag land 0xFFFFFFFF);
       t.next_tag <- t.next_tag + 1;
-      write_word t actor ~off:(hdr_off t slot) state_full;
+      write_word t ~amortized actor ~off:(hdr_off t slot) state_full;
       t.prod_next <- t.prod_next + 1;
       t.counters.produced <- t.counters.produced + 1;
       Metrics.inc m_produced;
@@ -276,9 +289,25 @@ let try_produce t payload =
     end
   end
 
+let try_produce t payload = produce_one t ~amortized:false payload
+
+(* Burst produce: up to [Array.length frames] messages in one crossing.
+   The first slot pays full ring cost; the rest amortize. Stops at the
+   first full slot (or exhausted pool) and returns how many went in —
+   per-slot publish order is unchanged, so the safety argument is exactly
+   the single-slot one, N times over. *)
+let try_produce_burst t frames =
+  let n = Array.length frames in
+  let rec go i =
+    if i >= n then i
+    else if produce_one t ~amortized:(i > 0) frames.(i) then go (i + 1)
+    else i
+  in
+  go 0
+
 (* Resolve the payload location for a consumed slot, confining every
    untrusted value by masking/clamping. *)
-let locate t actor slot ~len ~info =
+let locate ?(amortized = false) t actor slot ~len ~info =
   let clamp len cap =
     charge t actor Cost.Check t.model.Cost.check;
     if len > cap then begin
@@ -312,7 +341,7 @@ let locate t actor slot ~len ~info =
         if Trace.on () then Trace.instant ~arg:info ~cat:Kind.l2 "slot-mask"
       end;
       (* Single fetch of the descriptor. *)
-      charge t actor Cost.Ring t.model.Cost.ring_op;
+      charge t actor Cost.Ring (ring_word_cost t ~amortized);
       let db =
         match actor with
         | Region.Guest -> Region.guest_read t.region ~off:(desc_off t d) ~len:8
@@ -332,26 +361,30 @@ let locate t actor slot ~len ~info =
       let len = clamp (min len dlen) t.lay.unit_size in
       (t.base + t.lay.data_off + confined, len)
 
-let try_consume t =
+(* One consume step. [Cr_skip] means a malformed slot was skipped and the
+   cursor advanced — progress was made but no message came out. *)
+type consume_result = Cr_empty | Cr_skip | Cr_frame of bytes
+
+let consume_one ?pool t ~amortized =
   let actor = consumer t in
   let slot = t.cons_next land (t.slots - 1) in
-  let state, len, info, _tag = read_header t actor slot in
+  let state, len, info, _tag = read_header t ~amortized actor slot in
   if state = state_empty then begin
     t.counters.empty_polls <- t.counters.empty_polls + 1;
     Metrics.inc m_empty_polls;
-    None
+    Cr_empty
   end
   else if state <> state_full then begin
     (* Malformed state word: skip the slot entirely (no error path). *)
     t.counters.state_skipped <- t.counters.state_skipped + 1;
     Metrics.inc m_state_skipped;
     if Trace.on () then Trace.instant ~arg:state ~cat:Kind.l2 "slot-skip";
-    write_word t actor ~off:(hdr_off t slot) state_empty;
+    write_word t ~amortized actor ~off:(hdr_off t slot) state_empty;
     t.cons_next <- t.cons_next + 1;
-    None
+    Cr_skip
   end
   else begin
-    let off, len = locate t actor slot ~len ~info in
+    let off, len = locate ~amortized t actor slot ~len ~info in
     if len = 0 then begin
       (* A message carries at least one byte by contract: a zero-length
          claim is malformed, so the slot is skipped like any other
@@ -359,27 +392,52 @@ let try_consume t =
       t.counters.state_skipped <- t.counters.state_skipped + 1;
       Metrics.inc m_state_skipped;
       if Trace.on () then Trace.instant ~cat:Kind.l2 "slot-skip";
-      write_word t actor ~off:(hdr_off t slot) state_empty;
+      write_word t ~amortized actor ~off:(hdr_off t slot) state_empty;
       t.cons_next <- t.cons_next + 1;
-      None
+      Cr_skip
     end
     else begin
-      let payload = read_payload t actor ~off ~len in
-      write_word t actor ~off:(hdr_off t slot) state_empty;
+      let payload = read_payload ?pool t actor ~off ~len in
+      write_word t ~amortized actor ~off:(hdr_off t slot) state_empty;
       t.cons_next <- t.cons_next + 1;
       t.counters.consumed <- t.counters.consumed + 1;
       Metrics.inc m_consumed;
       if Trace.on () then Trace.instant ~arg:len ~cat:Kind.l2 "slot-consume";
-      Some payload
+      Cr_frame payload
     end
   end
+
+let try_consume ?pool t =
+  match consume_one ?pool t ~amortized:false with
+  | Cr_frame b -> Some b
+  | Cr_empty | Cr_skip -> None
+
+(* Burst consume: drain up to [max] messages in one crossing. Malformed
+   slots inside the batch are skipped-and-counted exactly as in the
+   single-slot path — each skip writes EMPTY and advances, so the loop
+   terminates — without poisoning the rest of the batch. Only the first
+   header access of the crossing pays full ring cost. *)
+let try_consume_burst ?pool ?(max = 64) t =
+  let ops = ref 0 in
+  let rec go n acc =
+    if n >= max then List.rev acc
+    else begin
+      let amortized = !ops > 0 in
+      incr ops;
+      match consume_one ?pool t ~amortized with
+      | Cr_empty -> List.rev acc
+      | Cr_skip -> go n acc
+      | Cr_frame b -> go (n + 1) (b :: acc)
+    end
+  in
+  if max <= 0 then [] else go 0 []
 
 (* Zero-copy consume by revocation (guest consumer, Inline positioning):
    unshare the payload pages, return a view of now-private memory, and
    release by re-sharing + marking EMPTY. *)
 type zero_copy = { data : bytes; release : unit -> unit }
 
-let rec try_consume_revoke t =
+let rec try_consume_revoke ?pool t =
   let actor = consumer t in
   if actor <> Region.Guest then invalid_arg "Ring.try_consume_revoke: guest-consumer rings only";
   (match t.positioning with
@@ -411,15 +469,22 @@ let rec try_consume_revoke t =
       t.cons_next <- t.cons_next + 1;
       None
     end
-    else revoke_consume t actor slot ~len
+    else revoke_consume ?pool t actor slot ~len
   end
 
-and revoke_consume t actor slot ~len =
+and revoke_consume ?pool t actor slot ~len =
   begin
     let off = unit_off t slot in
     (* Revoke the slot's pages: the host can no longer race the data. *)
     Region.unshare_range t.region ~off ~len:t.lay.unit_size;
-    let data = Region.guest_read t.region ~off ~len in
+    let data =
+      match pool with
+      | Some p ->
+          let b = Bufpool.acquire p len in
+          Region.guest_read_into t.region ~off b;
+          b
+      | None -> Region.guest_read t.region ~off ~len
+    in
     let released = ref false in
     let release () =
       if not !released then begin
@@ -433,4 +498,100 @@ and revoke_consume t actor slot ~len =
     Metrics.inc m_consumed;
     if Trace.on () then Trace.instant ~arg:len ~cat:Kind.l2 "slot-revoke";
     Some { data; release }
+  end
+
+(* Burst revocation: one unshare/share pair (one shootdown each way)
+   covers a contiguous run of FULL slots. The run never wraps the ring —
+   a wrap would split the span — and never consumes past a non-FULL or
+   malformed slot: that slot is left in place for the next call, so the
+   single-slot skip machinery handles it with its usual accounting. *)
+type zero_copy_burst = { frames : bytes list; release : unit -> unit }
+
+let try_consume_revoke_burst ?pool ?(max = 64) t =
+  let actor = consumer t in
+  if actor <> Region.Guest then
+    invalid_arg "Ring.try_consume_revoke_burst: guest-consumer rings only";
+  (match t.positioning with
+  | Config.Inline _ -> ()
+  | _ -> invalid_arg "Ring.try_consume_revoke_burst: inline positioning only");
+  if max <= 0 then None
+  else begin
+    let mask = t.slots - 1 in
+    let start = t.cons_next land mask in
+    let limit = min max (t.slots - start) in
+    let state, len, _info, _tag = read_header t actor start in
+    if state = state_empty then begin
+      t.counters.empty_polls <- t.counters.empty_polls + 1;
+      Metrics.inc m_empty_polls;
+      None
+    end
+    else if state <> state_full then begin
+      t.counters.state_skipped <- t.counters.state_skipped + 1;
+      Metrics.inc m_state_skipped;
+      if Trace.on () then Trace.instant ~arg:state ~cat:Kind.l2 "slot-skip";
+      write_word t actor ~off:(hdr_off t start) state_empty;
+      t.cons_next <- t.cons_next + 1;
+      None
+    end
+    else begin
+      charge t actor Cost.Check t.model.Cost.check;
+      let first_len = min len t.lay.unit_size in
+      if first_len = 0 then begin
+        t.counters.state_skipped <- t.counters.state_skipped + 1;
+        Metrics.inc m_state_skipped;
+        if Trace.on () then Trace.instant ~cat:Kind.l2 "slot-skip";
+        write_word t actor ~off:(hdr_off t start) state_empty;
+        t.cons_next <- t.cons_next + 1;
+        None
+      end
+      else begin
+        (* Scan ahead for the run of valid FULL slots (amortized header
+           reads); stop at the first slot that doesn't qualify. *)
+        let lens = Array.make limit 0 in
+        lens.(0) <- first_len;
+        let k = ref 1 in
+        let scanning = ref true in
+        while !scanning && !k < limit do
+          let state, len, _info, _tag = read_header t ~amortized:true actor (start + !k) in
+          charge t actor Cost.Check t.model.Cost.check;
+          let len = min len t.lay.unit_size in
+          if state = state_full && len > 0 then begin
+            lens.(!k) <- len;
+            incr k
+          end
+          else scanning := false
+        done;
+        let k = !k in
+        let span_off = unit_off t start in
+        let span_len = k * t.lay.unit_size in
+        Region.unshare_range t.region ~off:span_off ~len:span_len;
+        let frames =
+          List.init k (fun i ->
+              let off = unit_off t (start + i) in
+              match pool with
+              | Some p ->
+                  let b = Bufpool.acquire p lens.(i) in
+                  Region.guest_read_into t.region ~off b;
+                  b
+              | None -> Region.guest_read t.region ~off ~len:lens.(i))
+        in
+        let released = ref false in
+        let release () =
+          if not !released then begin
+            released := true;
+            Region.share_range t.region ~off:span_off ~len:span_len;
+            for i = 0 to k - 1 do
+              write_word t ~amortized:(i > 0) actor
+                ~off:(hdr_off t (start + i))
+                state_empty
+            done
+          end
+        in
+        t.cons_next <- t.cons_next + k;
+        t.counters.consumed <- t.counters.consumed + k;
+        Metrics.add m_consumed k;
+        if Trace.on () then Trace.instant ~arg:k ~cat:Kind.l2 "slot-revoke-burst";
+        Some { frames; release }
+      end
+    end
   end

@@ -67,12 +67,37 @@ val try_produce : t -> bytes -> bool
 (** Producer side: place one message; [false] when the ring (or the
     payload pool) is full. *)
 
-val try_consume : t -> bytes option
-(** Consumer side, copy strategy: one early copy into private memory. *)
+val try_produce_burst : t -> bytes array -> int
+(** Place up to [Array.length frames] messages in one crossing, stopping
+    at the first full slot; returns how many went in. Slots after the
+    first pay the amortized [ring_burst_op] cost for header/word work.
+    A burst of one is exactly {!try_produce} (same charges, same
+    counters). *)
+
+val try_consume : ?pool:Bufpool.t -> t -> bytes option
+(** Consumer side, copy strategy: one early copy into private memory.
+    With [pool], the destination buffer is recycled from the pool instead
+    of freshly allocated. *)
+
+val try_consume_burst : ?pool:Bufpool.t -> ?max:int -> t -> bytes list
+(** Drain up to [max] (default 64) messages in one crossing, in FIFO
+    order. Malformed slots inside the batch are skipped-and-counted
+    without ending the batch; an EMPTY slot ends it. Header/word costs
+    amortize after the first access. *)
 
 type zero_copy = { data : bytes; release : unit -> unit }
 
-val try_consume_revoke : t -> zero_copy option
+val try_consume_revoke : ?pool:Bufpool.t -> t -> zero_copy option
 (** Consumer side, revocation strategy (guest consumer, inline
     positioning): unshare the payload pages and read in place; [release]
-    re-shares and returns the slot. *)
+    re-shares and returns the slot. The returned [data] is always a
+    private snapshot owned by the caller. *)
+
+type zero_copy_burst = { frames : bytes list; release : unit -> unit }
+
+val try_consume_revoke_burst : ?pool:Bufpool.t -> ?max:int -> t -> zero_copy_burst option
+(** Revocation in bursts: one unshare/share pair (one TLB shootdown each
+    way) covers a contiguous run of up to [max] valid FULL slots. The run
+    stops at a ring wrap or at the first non-FULL/malformed slot, which is
+    left in place for the next call. [release] re-shares the whole span
+    and returns every slot. *)

@@ -55,7 +55,14 @@ let create ?(cionet_config = Cio_cionet.Config.default) ?mac ?(model = Cost.defa
   let io = Compartment.add_domain world ~name:"iostack" in
   let driver = Cio_cionet.Driver.create ~model ~meter ~name cionet_config in
   let netif = Cio_cionet.Driver.to_netif driver in
-  let stack = Stack.create ~model ~meter ~netif ~ip ~neighbors ~now ~rng () in
+  (* The closures capture [driver] (whose instance is swapped in place on
+     hot swap), so burst TX and buffer recycling survive restarts. *)
+  let stack =
+    Stack.create ~model ~meter
+      ~tx_burst:(fun frames -> Cio_cionet.Driver.transmit_burst driver frames)
+      ~recycle:(fun f -> Cio_cionet.Driver.recycle driver f)
+      ~netif ~ip ~neighbors ~now ~rng ()
+  in
   {
     world;
     app;
@@ -111,6 +118,8 @@ let restart_io t =
   t.channels <- [];
   t.stack <-
     Stack.create ~model:t.model ~meter:t.meter
+      ~tx_burst:(fun frames -> Cio_cionet.Driver.transmit_burst t.driver frames)
+      ~recycle:(fun f -> Cio_cionet.Driver.recycle t.driver f)
       ~netif:(Cio_cionet.Driver.to_netif t.driver)
       ~ip:t.ip ~neighbors:t.neighbors ~now:t.now ~rng:t.rng ()
 

@@ -992,6 +992,102 @@ let e20 ppf () =
   fp ppf "  stateless interface, where virtio multiqueue adds a control virtqueue@.";
   fp ppf "  command set to harden.@."
 
+(* --- E21: batch-depth sweep ------------------------------------------------ *)
+
+(* §2.2's performance ideal is reached "by batching their rings": sweep
+   the burst depth across positioning variants and queue counts. One cell
+   echoes [rounds x depth] 1 KiB frames per queue through burst transmit,
+   a host burst drain/refill, and burst receive, then reports guest
+   cycles per frame (critical path) and doorbells per frame. *)
+let e21_cell ~positioning ~queues ~depth =
+  let cfg =
+    {
+      Cio_cionet.Config.default with
+      Cio_cionet.Config.positioning;
+      ring_slots = 128;
+      use_notifications = true;
+    }
+  in
+  let mq = Cio_cionet.Multiqueue.create ~name:"e21" ~queues cfg in
+  (* Per-queue loopback host: frames the guest transmits come straight
+     back on the same queue's RX ring. *)
+  let hosts =
+    List.map
+      (fun d ->
+        let self = ref None in
+        let h =
+          Cio_cionet.Host_model.create ~driver:d
+            ~transmit:(fun f ->
+              match !self with
+              | Some h -> Cio_cionet.Host_model.deliver_rx h f
+              | None -> ())
+        in
+        self := Some h;
+        h)
+      (Cio_cionet.Multiqueue.queues mq)
+  in
+  let batch = Array.make depth (Bytes.make 1024 'b') in
+  let rounds = max 1 (256 / depth) in
+  let frames_per_queue = rounds * depth in
+  for _ = 1 to rounds do
+    for q = 0 to queues - 1 do
+      ignore (Cio_cionet.Multiqueue.transmit_burst mq ~flow_hash:q batch)
+    done;
+    List.iter Cio_cionet.Host_model.poll hosts;
+    let rec drain () =
+      if Cio_cionet.Multiqueue.poll_burst ~max:(queues * depth) mq <> [] then drain ()
+    in
+    drain ()
+  done;
+  let cycles_per_frame =
+    float_of_int (Cio_cionet.Multiqueue.critical_path_cycles mq)
+    /. float_of_int frames_per_queue
+  in
+  let doorbells =
+    List.fold_left
+      (fun acc d -> acc + Cost.count_of (Cio_cionet.Driver.guest_meter d) Cost.Notification)
+      0
+      (Cio_cionet.Multiqueue.queues mq)
+  in
+  (cycles_per_frame, float_of_int doorbells /. float_of_int (frames_per_queue * queues))
+
+let e21 ppf () =
+  fp ppf "E21: batch-depth sweep (burst ring ops + doorbell coalescing, 1 KiB echo)@.";
+  let depths = [ 1; 4; 16; 64 ] in
+  let variants =
+    [
+      ("inline", Cio_cionet.Config.Inline { data_capacity = 2048 });
+      ("pool", Cio_cionet.Config.Pool { pool_slots = 256; pool_slot_size = 2048 });
+      ( "indirect",
+        Cio_cionet.Config.Indirect { desc_count = 256; pool_slots = 256; pool_slot_size = 2048 } );
+    ]
+  in
+  fp ppf "  guest cycles/frame (critical path):@.";
+  fp ppf "  %-10s %7s" "variant" "queues";
+  List.iter (fun d -> fp ppf " %9s" (Printf.sprintf "depth=%d" d)) depths;
+  fp ppf "@.";
+  let inline_q1 = ref [] in
+  List.iter
+    (fun (name, positioning) ->
+      List.iter
+        (fun queues ->
+          fp ppf "  %-10s %7d" name queues;
+          List.iter
+            (fun depth ->
+              let cycles, dbpf = e21_cell ~positioning ~queues ~depth in
+              if name = "inline" && queues = 1 then inline_q1 := (depth, dbpf) :: !inline_q1;
+              fp ppf " %9.0f" cycles)
+            depths;
+          fp ppf "@.")
+        [ 1; 2; 4; 8 ])
+    variants;
+  fp ppf "  doorbells/frame (any variant):";
+  List.iter (fun (d, dbpf) -> fp ppf "  depth=%d -> %.4f" d dbpf) (List.rev !inline_q1);
+  fp ppf "@.";
+  fp ppf "  shape: per-frame cost falls with depth and flattens past ~16 as the@.";
+  fp ppf "  fixed crossing cost is spread thin; doorbells/frame = 1/depth exactly@.";
+  fp ppf "  (one stateless kick covers the whole burst).@."
+
 (* --- registry -------------------------------------------------------------- *)
 
 let all =
@@ -1020,6 +1116,7 @@ let all =
     ("e18", "workload fingerprinting by the host", e18);
     ("e19", "storage access-pattern observability", e19);
     ("e20", "multi-queue scaling", e20);
+    ("e21", "batch-depth sweep / doorbell coalescing", e21);
   ]
 
 let find id = List.find_opt (fun (i, _, _) -> i = id) all

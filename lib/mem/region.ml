@@ -137,10 +137,31 @@ let write t actor ~off src =
   | Host, Some hook -> hook ~off ~len
   | _ -> ()
 
+(* Blit-into variant of [read]: identical checks, logging, transaction
+   capture and hook ordering, but fills a caller-provided buffer instead
+   of allocating — the allocation-free consume path. *)
+let read_into t actor ~off dst =
+  let len = Bytes.length dst in
+  check_access t actor off len ~write:false;
+  log t (Read { actor; off; len });
+  (match (actor, t.txn) with
+  | Guest, Some reads when len > 0 && range_shared t off len ->
+      t.txn <- Some ((off, len, Bytes.sub_string t.data off len) :: reads)
+  | _ -> ());
+  Bytes.blit t.data off dst 0 len;
+  match (actor, t.guest_read_hook) with
+  | Guest, Some hook when len > 0 && range_shared t off len ->
+      (* Fire after the value is captured so the *next* fetch observes any
+         mutation the hook performs. *)
+      hook ~off ~len
+  | _ -> ()
+
 let guest_read t ~off ~len = read t Guest ~off ~len
 let guest_write t ~off src = write t Guest ~off src
 let host_read t ~off ~len = read t Host ~off ~len
 let host_write t ~off src = write t Host ~off src
+let guest_read_into t ~off dst = read_into t Guest ~off dst
+let host_read_into t ~off dst = read_into t Host ~off dst
 
 (* Integer accessors used by the ring/descriptor layers. All are
    little-endian, matching the virtio wire format. *)
@@ -245,6 +266,10 @@ let copy_in t ~off ~len =
   let b = guest_read t ~off ~len in
   Cost.charge t.meter Cost.Copy (Cost.copy_cost t.model len);
   b
+
+let copy_in_into t ~off dst =
+  guest_read_into t ~off dst;
+  Cost.charge t.meter Cost.Copy (Cost.copy_cost t.model (Bytes.length dst))
 
 let copy_out t ~off src =
   guest_write t ~off src;

@@ -66,6 +66,13 @@ val guest_write : t -> off:int -> bytes -> unit
 val host_read : t -> off:int -> len:int -> bytes
 val host_write : t -> off:int -> bytes -> unit
 
+val guest_read_into : t -> off:int -> bytes -> unit
+(** [guest_read_into t ~off dst] reads [Bytes.length dst] bytes at [off]
+    into [dst] — same checks, logging, transaction capture and read-hook
+    ordering as {!guest_read}, without allocating. *)
+
+val host_read_into : t -> off:int -> bytes -> unit
+
 val read_u8 : t -> actor -> off:int -> int
 val read_u16 : t -> actor -> off:int -> int
 val read_u32 : t -> actor -> off:int -> int
@@ -86,6 +93,10 @@ val unshare_range : t -> off:int -> len:int -> unit
 
 val copy_in : t -> off:int -> len:int -> bytes
 (** Guest pull of shared bytes into private memory; charges [Copy]. *)
+
+val copy_in_into : t -> off:int -> bytes -> unit
+(** {!copy_in} into a caller-provided buffer (length = [Bytes.length dst]);
+    charges [Copy] without allocating. *)
 
 val copy_out : t -> off:int -> bytes -> unit
 (** Guest publish of private bytes; charges [Copy]. *)

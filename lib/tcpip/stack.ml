@@ -34,6 +34,15 @@ type t = {
   model : Cost.model;
   now : unit -> int64;
   counters : counters;
+  (* TX coalescing: when the netif offers a burst transmit, outgoing
+     frames queue here and flush as batches (one ring crossing, one
+     doorbell). Without [tx_burst] every frame transmits immediately —
+     byte-identical to the uncoalesced stack. *)
+  tx_burst : (bytes array -> int) option;
+  txq : bytes Queue.t;
+  (* Frame-buffer return path: RX buffers go back to the driver's pool
+     once parsed (the parsers copy what they keep). *)
+  recycle : (bytes -> unit) option;
 }
 
 let mac_for t dst =
@@ -41,7 +50,42 @@ let mac_for t dst =
   | Some mac -> Some mac
   | None -> None
 
-let create ?(ttl = 64) ?(model = Cost.default) ?meter ~netif ~ip ~neighbors ~now ~rng () =
+(* Emit one built frame: queue for the next burst flush when coalescing,
+   transmit immediately otherwise. Counters and charges are identical
+   either way. *)
+let emit t frame =
+  t.counters.frames_out <- t.counters.frames_out + 1;
+  Cost.charge t.meter Cost.Stack 150;
+  match t.tx_burst with
+  | Some _ -> Queue.add frame t.txq
+  | None -> t.netif.Netif.transmit frame
+
+(* Flush pending TX as bursts. A partial burst means the ring is full:
+   requeue the tail and stop — the next poll retries. *)
+let flush_tx t =
+  match t.tx_burst with
+  | None -> ()
+  | Some burst ->
+      let rec go () =
+        let k = min 64 (Queue.length t.txq) in
+        if k > 0 then begin
+          let frames = Array.init k (fun _ -> Queue.take t.txq) in
+          let n = burst frames in
+          if n < k then begin
+            let leftovers = Queue.create () in
+            for i = n to k - 1 do
+              Queue.add frames.(i) leftovers
+            done;
+            Queue.transfer t.txq leftovers;
+            Queue.transfer leftovers t.txq
+          end
+          else go ()
+        end
+      in
+      go ()
+
+let create ?(ttl = 64) ?(model = Cost.default) ?meter ?tx_burst ?recycle ~netif ~ip ~neighbors
+    ~now ~rng () =
   let meter = match meter with Some m -> m | None -> Cost.meter () in
   let rec t =
     lazy
@@ -59,6 +103,9 @@ let create ?(ttl = 64) ?(model = Cost.default) ?meter ~netif ~ip ~neighbors ~now
         model;
         now;
         counters = { frames_in = 0; frames_out = 0; dropped = 0; last_drop_reason = "" };
+        tx_burst;
+        txq = Queue.create ();
+        recycle;
       }
   and send_proto t proto ~dst payload =
     match mac_for t dst with
@@ -71,9 +118,7 @@ let create ?(ttl = 64) ?(model = Cost.default) ?meter ~netif ~ip ~neighbors ~now
           Ethernet.build
             { Ethernet.dst = dst_mac; src = t.netif.Netif.mac; ethertype = Ethernet.Ipv4; payload = ip_packet }
         in
-        t.counters.frames_out <- t.counters.frames_out + 1;
-        Cost.charge t.meter Cost.Stack 150;
-        t.netif.Netif.transmit frame
+        emit t frame
   in
   Lazy.force t
 
@@ -94,9 +139,7 @@ let send_udp t ~src_port ~dst ~dst_port payload =
         Ethernet.build
           { Ethernet.dst = dst_mac; src = t.netif.Netif.mac; ethertype = Ethernet.Ipv4; payload = ip_packet }
       in
-      t.counters.frames_out <- t.counters.frames_out + 1;
-      Cost.charge t.meter Cost.Stack 150;
-      t.netif.Netif.transmit frame
+      emit t frame
 
 let udp_bind t ~port =
   if List.exists (fun s -> s.uport = port) t.udp_socks then
@@ -150,7 +193,9 @@ let handle_frame t frame =
       end
 
 (* One scheduling quantum: drain pending RX frames (bounded), then run TCP
-   timers. Drivers are polled, never notify. *)
+   timers, then flush coalesced TX. Flushing last means segments generated
+   while handling this quantum's RX (ACKs, echoes) leave in the same poll,
+   as one burst. Drivers are polled, never notify. *)
 let poll ?(budget = 64) t =
   let rec go n =
     if n > 0 then begin
@@ -158,8 +203,12 @@ let poll ?(budget = 64) t =
       | None -> ()
       | Some frame ->
           handle_frame t frame;
+          (* The parsers copied what they kept; the frame buffer can go
+             back to the driver's pool. *)
+          (match t.recycle with Some r -> r frame | None -> ());
           go (n - 1)
     end
   in
   go budget;
-  Tcp.tick t.tcp
+  Tcp.tick t.tcp;
+  flush_tx t

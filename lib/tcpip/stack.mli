@@ -20,6 +20,8 @@ val create :
   ?ttl:int ->
   ?model:Cost.model ->
   ?meter:Cost.meter ->
+  ?tx_burst:(bytes array -> int) ->
+  ?recycle:(bytes -> unit) ->
   netif:Netif.t ->
   ip:Addr.ipv4 ->
   neighbors:(Addr.ipv4 * Addr.mac) list ->
@@ -27,6 +29,11 @@ val create :
   rng:Rng.t ->
   unit ->
   t
+(** [tx_burst] enables TX coalescing: outgoing frames queue and flush as
+    bursts at the end of each {!poll} (the function returns how many of
+    the batch were accepted; the tail is retried next flush). [recycle]
+    returns drained RX frame buffers to the driver's pool after parsing.
+    Omitting both yields the classic frame-at-a-time stack. *)
 
 val tcp : t -> Tcp.t
 val ip : t -> Addr.ipv4
@@ -43,4 +50,9 @@ val handle_frame : t -> bytes -> unit
 (** Inject one raw Ethernet frame (normally called via {!poll}). *)
 
 val poll : ?budget:int -> t -> unit
-(** Drain up to [budget] received frames, then run TCP timers. *)
+(** Drain up to [budget] received frames, run TCP timers, then flush
+    coalesced TX (when [tx_burst] was given). *)
+
+val flush_tx : t -> unit
+(** Push any coalesced pending TX frames out as bursts now. No-op
+    without [tx_burst]. *)

@@ -15,6 +15,10 @@ type model = {
   copy_per_byte_q2 : int;  (** quarter-cycles per byte copied (fixed point) *)
   check : int;             (** one validation branch on an untrusted value *)
   ring_op : int;           (** one descriptor/ring slot read or write *)
+  ring_burst_op : int;
+      (** each additional slot touched in a batched ring crossing: the
+          first slot pays [ring_op] (cache miss + cursor bookkeeping),
+          the rest only adjacent-line word work *)
   mmio : int;              (** one MMIO register access *)
   notification : int;      (** doorbell + VM exit / event injection *)
   gate_crossing : int;     (** intra-TEE compartment switch (MPK-like) *)
@@ -39,6 +43,7 @@ let default =
     copy_per_byte_q2 = 1;  (* 0.25 cycles/B: warm streaming copy *)
     check = 3;
     ring_op = 12;
+    ring_burst_op = 3;     (* adjacent-line slot access in a batch *)
     mmio = 120;
     notification = 2400;   (* doorbell + exit path *)
     gate_crossing = 110;   (* wrpkru-style switch + spill *)

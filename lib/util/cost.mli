@@ -11,6 +11,7 @@ type model = {
   copy_per_byte_q2 : int;
   check : int;
   ring_op : int;
+  ring_burst_op : int;
   mmio : int;
   notification : int;
   gate_crossing : int;

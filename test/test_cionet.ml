@@ -503,6 +503,220 @@ let prop_hot_swap_preserves_invariants =
         ops;
       !ok)
 
+(* --- batched datapath --------------------------------------------------- *)
+
+let frames_of strings = Array.of_list (List.map Bytes.of_string strings)
+
+let test_burst_roundtrip () =
+  let drv, host, sent = make () in
+  let tx = frames_of [ "b-one"; "b-two"; "b-three"; "b-four" ] in
+  Alcotest.(check int) "all accepted" 4 (Driver.transmit_burst drv tx);
+  Host_model.poll host;
+  Alcotest.(check int) "all forwarded" 4 (List.length !sent);
+  List.iteri
+    (fun i f -> Helpers.check_bytes (Printf.sprintf "tx order %d" i) tx.(i) f)
+    (List.rev !sent);
+  for i = 1 to 4 do
+    Host_model.deliver_rx host (Bytes.of_string (Printf.sprintf "rx-%d" i))
+  done;
+  Host_model.poll host;
+  let got = Driver.poll_burst drv in
+  Alcotest.(check int) "all drained in one burst" 4 (List.length got);
+  List.iteri
+    (fun i f -> Helpers.check_bytes "rx fifo" (Bytes.of_string (Printf.sprintf "rx-%d" (i + 1))) f)
+    got
+
+let test_burst_doorbell_coalesced () =
+  let cfg = { inline_cfg with Config.use_notifications = true } in
+  let drv, _, _ = make ~cfg () in
+  let coalesced = Cio_telemetry.Metrics.counter Cio_telemetry.Metrics.default
+      "driver.doorbells_coalesced" in
+  let before = Cio_telemetry.Metrics.counter_value coalesced in
+  let n = Driver.transmit_burst drv (Array.init 16 (fun i -> Bytes.make (64 + i) 'd')) in
+  Alcotest.(check int) "all placed" 16 n;
+  Alcotest.(check int) "one doorbell for the whole burst" 1
+    (Cost.count_of (Driver.guest_meter drv) Cost.Notification);
+  Alcotest.(check int) "15 kicks coalesced away" 15
+    (Cio_telemetry.Metrics.counter_value coalesced - before)
+
+let test_burst_stops_at_full_ring () =
+  let cfg = { inline_cfg with Config.ring_slots = 8 } in
+  let drv, _, _ = make ~cfg () in
+  let n = Driver.transmit_burst drv (Array.init 20 (fun _ -> Bytes.make 32 'f')) in
+  Alcotest.(check int) "bounded by ring size" 8 n;
+  Alcotest.(check bool) "miss counted" true
+    ((Ring.counters (Driver.tx_ring drv)).Ring.full_misses > 0)
+
+let test_malformed_slot_inside_burst () =
+  (* One garbage slot in the middle of a batch is skipped-and-counted;
+     the rest of the batch flows through the same poll_burst call. *)
+  let drv, host, _ = make () in
+  Host_model.inject host (Host_model.Garbage_state 0xBAD);
+  for i = 1 to 5 do
+    Host_model.deliver_rx host (Bytes.of_string (Printf.sprintf "m-%d" i))
+  done;
+  Host_model.poll host;
+  let got = Driver.poll_burst drv in
+  Alcotest.(check int) "survivors delivered" 4 (List.length got);
+  Alcotest.(check int) "skip counted once" 1
+    (Ring.counters (Driver.rx_ring drv)).Ring.state_skipped;
+  List.iteri
+    (fun i f -> Helpers.check_bytes "order preserved" (Bytes.of_string (Printf.sprintf "m-%d" (i + 2))) f)
+    got
+
+let test_revoke_burst_roundtrip () =
+  let cfg = { inline_cfg with Config.rx_strategy = Config.Revoke } in
+  let drv, host, _ = make ~cfg () in
+  for i = 1 to 6 do
+    Host_model.deliver_rx host (Bytes.of_string (Printf.sprintf "rv-%d" i))
+  done;
+  Host_model.poll host;
+  let unshares_before = Cost.count_of (Driver.guest_meter drv) Cost.Unshare in
+  let got = Driver.poll_burst drv in
+  Alcotest.(check int) "all drained" 6 (List.length got);
+  List.iteri
+    (fun i f -> Helpers.check_bytes "revoke fifo" (Bytes.of_string (Printf.sprintf "rv-%d" (i + 1))) f)
+    got;
+  Alcotest.(check int) "one shootdown for the whole span" 1
+    (Cost.count_of (Driver.guest_meter drv) Cost.Unshare - unshares_before)
+
+let test_revoke_poll_returns_stable_snapshot () =
+  (* Regression: a frame handed out by [poll] in Revoke mode must be an
+     owned snapshot — not aliased to ring pages the host rewrites, nor to
+     pool pages reclaimed by later traffic. *)
+  let cfg = { inline_cfg with Config.rx_strategy = Config.Revoke } in
+  let drv, host, _ = make ~cfg () in
+  Host_model.deliver_rx host (Bytes.of_string "stable-snapshot");
+  Host_model.poll host;
+  let held =
+    match Driver.poll drv with Some f -> f | None -> Alcotest.fail "no rx"
+  in
+  (* Reuse every slot and churn the pool: the held frame must not move. *)
+  for round = 1 to 3 do
+    for i = 1 to Config.default.Config.ring_slots do
+      Host_model.deliver_rx host (Bytes.make 15 (Char.chr (64 + ((round + i) mod 26))))
+    done;
+    Host_model.poll host;
+    List.iter (Driver.recycle drv) (Driver.poll_burst drv ~max:Config.default.Config.ring_slots)
+  done;
+  Helpers.check_bytes "held frame unchanged" (Bytes.of_string "stable-snapshot") held
+
+let test_steady_state_zero_fresh_allocations () =
+  (* The allocation-free claim: once the pool is warm, an L2 echo loop
+     performs zero fresh Bytes allocations per frame on the driver side. *)
+  let drv, host, _ = make () in
+  let payload = Bytes.make 512 'p' in
+  let batch = Array.make 8 payload in
+  let round () =
+    ignore (Driver.transmit_burst drv batch);
+    Host_model.poll host;
+    for _ = 1 to 8 do Host_model.deliver_rx host payload done;
+    Host_model.poll host;
+    List.iter (Driver.recycle drv) (Driver.poll_burst drv)
+  in
+  for _ = 1 to 4 do round () done;
+  let fresh0 = (Bufpool.stats (Driver.pool drv)).Bufpool.fresh in
+  for _ = 1 to 16 do round () done;
+  Alcotest.(check int) "zero fresh allocations after warm-up" fresh0
+    (Bufpool.stats (Driver.pool drv)).Bufpool.fresh
+
+(* --- multiqueue steering ------------------------------------------------ *)
+
+let test_queue_for_pow2_mask () =
+  let mq = Multiqueue.create ~name:"mq4" ~queues:4 inline_cfg in
+  Alcotest.(check int) "masked" 1 (Multiqueue.queue_for mq ~flow_hash:5);
+  Alcotest.(check int) "negative hash masked into range" ((-7) land 3)
+    (Multiqueue.queue_for mq ~flow_hash:(-7));
+  List.iter
+    (fun h ->
+      let q = Multiqueue.queue_for mq ~flow_hash:h in
+      Alcotest.(check bool) "in range" true (q >= 0 && q < 4))
+    [ 0; 1; 17; -1; -64; max_int; min_int ]
+
+let test_queue_for_non_pow2 () =
+  (* Three queues: the old pow2 mask would compute [hash land 2] and both
+     strand queue 1 and map negative hashes out of range. *)
+  let mq = Multiqueue.create ~name:"mq3" ~queues:3 inline_cfg in
+  Alcotest.(check int) "7 mod 3" 1 (Multiqueue.queue_for mq ~flow_hash:7);
+  Alcotest.(check int) "negative hash stays in range" 1 (Multiqueue.queue_for mq ~flow_hash:(-5));
+  let hits = Array.make 3 0 in
+  for h = 0 to 29 do
+    let q = Multiqueue.queue_for mq ~flow_hash:h in
+    Alcotest.(check bool) "in range" true (q >= 0 && q < 3);
+    hits.(q) <- hits.(q) + 1
+  done;
+  Array.iteri
+    (fun i n -> Alcotest.(check int) (Printf.sprintf "queue %d reachable" i) 10 n)
+    hits;
+  List.iter
+    (fun h ->
+      let q = Multiqueue.queue_for mq ~flow_hash:h in
+      Alcotest.(check bool) "extreme hash in range" true (q >= 0 && q < 3))
+    [ max_int; min_int; -1 ]
+
+let test_multiqueue_transmit_matches_steering () =
+  let mq = Multiqueue.create ~name:"mq-steer" ~queues:3 inline_cfg in
+  List.iter
+    (fun h ->
+      let q = Multiqueue.queue_for mq ~flow_hash:h in
+      let before = Driver.tx_frames (Multiqueue.queue mq q) in
+      Alcotest.(check bool) "accepted" true (Multiqueue.transmit mq ~flow_hash:h (Bytes.make 64 's'));
+      Alcotest.(check int) "landed on the steered queue" (before + 1)
+        (Driver.tx_frames (Multiqueue.queue mq q)))
+    [ 0; 1; 2; 7; -5; max_int ]
+
+(* --- batched-path properties -------------------------------------------- *)
+
+let prop_burst_of_one_equals_single_slot =
+  (* A burst of one is *exactly* the single-slot operation: same ring
+     counters, same metered cost, bit for bit. *)
+  QCheck.Test.make ~name:"burst of one ≡ single-slot (counters and cost)" ~count:60
+    QCheck.(int_range 1 2047)
+    (fun len ->
+      let payload = Bytes.make len 'q' in
+      let run ~burst =
+        let drv, host, _ = make () in
+        (if burst then ignore (Driver.transmit_burst drv [| payload |])
+         else ignore (Driver.transmit drv payload));
+        Host_model.poll host;
+        Host_model.deliver_rx host payload;
+        Host_model.poll host;
+        (if burst then ignore (Driver.poll_burst drv ~max:1) else ignore (Driver.poll drv));
+        let c r = let k = Ring.counters r in (k.Ring.produced, k.Ring.consumed) in
+        (Cost.total (Driver.guest_meter drv), c (Driver.tx_ring drv), c (Driver.rx_ring drv))
+      in
+      run ~burst:true = run ~burst:false)
+
+let prop_burst_fifo_exactly_once =
+  (* Whatever mix of burst sizes the producer uses, every frame comes out
+     exactly once, in order. *)
+  QCheck.Test.make ~name:"bursts deliver FIFO, exactly once" ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 8) (int_range 1 16))
+    (fun burst_sizes ->
+      let drv, host, _ = make () in
+      let seq = ref 0 in
+      let expected = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun k ->
+          let frames =
+            Array.init k (fun _ ->
+                incr seq;
+                Bytes.of_string (Printf.sprintf "frame-%03d" !seq))
+          in
+          Array.iter (fun f -> expected := Bytes.copy f :: !expected) frames;
+          Array.iter (fun f -> Host_model.deliver_rx host f) frames;
+          Host_model.poll host;
+          let got = Driver.poll_burst drv ~max:k in
+          if List.length got <> k then ok := false;
+          List.iteri
+            (fun i f ->
+              let e = List.nth (List.rev !expected) (!seq - k + i) in
+              if not (Bytes.equal e f) then ok := false)
+            got)
+        burst_sizes;
+      !ok && (Ring.counters (Driver.rx_ring drv)).Ring.consumed = !seq)
+
 let suite =
   [
     Alcotest.test_case "layout: power-of-two enforced" `Quick test_layout_power_of_two_enforced;
@@ -538,6 +752,23 @@ let suite =
     Alcotest.test_case "watchdog: ring freeze detected" `Quick test_watchdog_detects_ring_freeze;
     Alcotest.test_case "watchdog: exponential backoff" `Quick
       test_watchdog_backoff_doubles_and_caps;
+    Alcotest.test_case "burst: roundtrip FIFO" `Quick test_burst_roundtrip;
+    Alcotest.test_case "burst: doorbell coalesced" `Quick test_burst_doorbell_coalesced;
+    Alcotest.test_case "burst: stops at full ring" `Quick test_burst_stops_at_full_ring;
+    Alcotest.test_case "burst: malformed slot skipped mid-batch" `Quick
+      test_malformed_slot_inside_burst;
+    Alcotest.test_case "burst: revoke drains span under one shootdown" `Quick
+      test_revoke_burst_roundtrip;
+    Alcotest.test_case "revoke: poll returns stable snapshot" `Quick
+      test_revoke_poll_returns_stable_snapshot;
+    Alcotest.test_case "pool: steady state allocates nothing" `Quick
+      test_steady_state_zero_fresh_allocations;
+    Alcotest.test_case "multiqueue: pow2 steering mask" `Quick test_queue_for_pow2_mask;
+    Alcotest.test_case "multiqueue: non-pow2 steering" `Quick test_queue_for_non_pow2;
+    Alcotest.test_case "multiqueue: transmit follows queue_for" `Quick
+      test_multiqueue_transmit_matches_steering;
+    Helpers.qtest prop_burst_of_one_equals_single_slot;
+    Helpers.qtest prop_burst_fifo_exactly_once;
     Helpers.qtest prop_untrusted_len_never_escapes;
     Helpers.qtest prop_untrusted_index_confined;
     Helpers.qtest prop_ring_model_based;

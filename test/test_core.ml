@@ -149,6 +149,62 @@ let test_dual_unit_echo_direct () =
      is ciphertext — the plaintext never appears on the shared region. *)
   Alcotest.(check bool) "gate crossings happened" true (Dual.crossings unit_ > 0)
 
+let test_dual_echo_steady_state_zero_alloc () =
+  (* The allocation-free acceptance bar: once the pool is warm, a dual-
+     boundary TLS echo performs zero fresh Bytes allocations per frame on
+     the L2 path (RX consume buffers and TX pad staging all recycle). *)
+  let open Cio_netsim in
+  let engine = Engine.create () in
+  let link = Link.create ~latency_ns:5_000L ~gbps:10.0 engine in
+  let rng = Rng.create 11L in
+  let now () = Engine.now engine in
+  let psk = Bytes.of_string "steady-state-echo-psk-32-bytes-x" in
+  let peer =
+    Peer.create ~link ~endpoint:Link.B ~ip:Helpers.ip_b ~mac:Helpers.mac_b
+      ~neighbors:[ (Helpers.ip_a, Helpers.mac_a) ] ~psk ~psk_id:"s" ~rng:(Rng.split rng) ~now ()
+  in
+  Peer.serve_echo peer ~port:4433;
+  let unit_ =
+    Dual.create ~mac:Helpers.mac_a ~name:"steady" ~ip:Helpers.ip_a
+      ~neighbors:[ (Helpers.ip_b, Helpers.mac_b) ] ~psk ~psk_id:"s" ~rng:(Rng.split rng) ~now ()
+  in
+  let host =
+    Cio_cionet.Host_model.create ~driver:(Dual.driver unit_)
+      ~transmit:(fun f -> Link.send link ~src:Link.A f)
+  in
+  Link.attach link Link.A (fun f -> Cio_cionet.Host_model.deliver_rx host f);
+  let ch = Dual.connect unit_ ~dst:Helpers.ip_b ~dst_port:4433 in
+  let pump () =
+    Dual.poll unit_;
+    Cio_cionet.Host_model.poll host;
+    Peer.poll peer;
+    Engine.advance engine ~by:2_000L
+  in
+  let rec until pred n = pred () || (n > 0 && (pump (); until pred (n - 1))) in
+  Alcotest.(check bool) "established" true (until (fun () -> Channel.is_established ch) 2000);
+  let msg = Bytes.make 512 'e' in
+  let echo () =
+    (match Channel.send ch msg with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail (Cio_tls.Session.error_to_string e));
+    let got = ref None in
+    if
+      not
+        (until
+           (fun () ->
+             (match Channel.recv ch with Some m -> got := Some m | None -> ());
+             !got <> None)
+           2000)
+    then Alcotest.fail "echo lost";
+    Helpers.check_bytes "echo content" msg (Option.get !got)
+  in
+  for _ = 1 to 6 do echo () done;
+  let pool = Cio_cionet.Driver.pool (Dual.driver unit_) in
+  let fresh0 = (Cio_mem.Bufpool.stats pool).Cio_mem.Bufpool.fresh in
+  for _ = 1 to 10 do echo () done;
+  Alcotest.(check int) "zero per-frame allocations on the L2 path" fresh0
+    (Cio_mem.Bufpool.stats pool).Cio_mem.Bufpool.fresh
+
 let test_channel_copy_knobs_change_costs () =
   (* E7 at unit level: zero-copy send saves the L5 crossing copy. *)
   let run ~zc =
@@ -195,5 +251,7 @@ let suite =
     Alcotest.test_case "tunnel codec roundtrip" `Quick test_tunnel_codec_roundtrip;
     Alcotest.test_case "tunnel uniform padding" `Quick test_tunnel_uniform_padding;
     Alcotest.test_case "dual unit direct echo" `Slow test_dual_unit_echo_direct;
+    Alcotest.test_case "dual echo allocation-free in steady state" `Slow
+      test_dual_echo_steady_state_zero_alloc;
     Alcotest.test_case "channel copy knobs (E7)" `Quick test_channel_copy_knobs_change_costs;
   ]

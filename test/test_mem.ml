@@ -240,6 +240,67 @@ let prop_masked_pool_always_in_bounds =
       let _, p = make_pool Pool.Shared_masked in
       Pool.slot_in_bounds p (Pool.mask_slot p v))
 
+(* --- buffer pool (allocation-free datapath) --------------------------- *)
+
+let test_bufpool_acquire_recycle_reuse () =
+  let p = Bufpool.create () in
+  let b = Bufpool.acquire p 100 in
+  Alcotest.(check int) "exact length" 100 (Bytes.length b);
+  Bufpool.recycle p b;
+  let b2 = Bufpool.acquire p 100 in
+  Alcotest.(check bool) "same buffer handed back" true (b == b2);
+  let s = Bufpool.stats p in
+  Alcotest.(check int) "one fresh" 1 s.Bufpool.fresh;
+  Alcotest.(check int) "one reused" 1 s.Bufpool.reused;
+  Alcotest.(check int) "one recycled" 1 s.Bufpool.recycled;
+  Alcotest.(check int) "nothing dropped" 0 s.Bufpool.dropped
+
+let test_bufpool_exact_length_buckets () =
+  (* 64 and 65 share a pow2 class but are distinct buckets: recycling one
+     length never serves an acquire of another. *)
+  let p = Bufpool.create () in
+  let b = Bufpool.acquire p 64 in
+  Bufpool.recycle p b;
+  let c = Bufpool.acquire p 65 in
+  Alcotest.(check int) "right length" 65 (Bytes.length c);
+  Alcotest.(check int) "65 was a fresh allocation" 2 (Bufpool.stats p).Bufpool.fresh;
+  Alcotest.(check int) "64 still retained" 1 (Bufpool.retained p);
+  Alcotest.(check bool) "64 reusable" true (Bufpool.acquire p 64 == b)
+
+let test_bufpool_class_cap_drops () =
+  let p = Bufpool.create ~cap:2 () in
+  let bs = List.init 4 (fun _ -> Bufpool.acquire p 128) in
+  List.iter (Bufpool.recycle p) bs;
+  Alcotest.(check int) "retained capped at 2" 2 (Bufpool.retained p);
+  Alcotest.(check int) "overflow dropped" 2 (Bufpool.stats p).Bufpool.dropped;
+  (* Same class, different exact length, shares the class budget. *)
+  let odd = Bufpool.acquire p 100 in
+  Bufpool.recycle p odd;
+  Alcotest.(check int) "class budget shared across lengths" 3 (Bufpool.stats p).Bufpool.dropped
+
+let test_bufpool_rejects_nonpositive () =
+  let p = Bufpool.create () in
+  Alcotest.check_raises "zero length"
+    (Invalid_argument "Bufpool.acquire: length must be positive") (fun () ->
+      ignore (Bufpool.acquire p 0));
+  Alcotest.check_raises "negative length"
+    (Invalid_argument "Bufpool.acquire: length must be positive") (fun () ->
+      ignore (Bufpool.acquire p (-3)))
+
+let prop_bufpool_acquire_is_exact_and_balanced =
+  QCheck.Test.make ~name:"bufpool acquires are exact-length; stats balance" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 40) (int_range 1 4096))
+    (fun lens ->
+      let p = Bufpool.create ~cap:8 () in
+      let held = List.map (fun len -> Bufpool.acquire p len) lens in
+      List.iter (Bufpool.recycle p) held;
+      let again = List.map (fun len -> (len, Bufpool.acquire p len)) lens in
+      let s = Bufpool.stats p in
+      List.for_all (fun (len, b) -> Bytes.length b = len) again
+      && s.Bufpool.fresh + s.Bufpool.reused = 2 * List.length lens
+      && s.Bufpool.recycled + s.Bufpool.dropped = List.length lens
+      && Bufpool.retained p >= 0)
+
 let suite =
   [
     Alcotest.test_case "region: guest roundtrip" `Quick test_guest_rw_roundtrip;
@@ -267,6 +328,12 @@ let suite =
     Alcotest.test_case "pool: masked metadata confined" `Quick test_pool_shared_masked_confines;
     Alcotest.test_case "pool: slot io" `Quick test_pool_slot_io;
     Alcotest.test_case "pool: geometry validated" `Quick test_pool_geometry_validated;
+    Alcotest.test_case "bufpool: acquire/recycle/reuse" `Quick test_bufpool_acquire_recycle_reuse;
+    Alcotest.test_case "bufpool: exact-length buckets" `Quick test_bufpool_exact_length_buckets;
+    Alcotest.test_case "bufpool: class cap drops overflow" `Quick test_bufpool_class_cap_drops;
+    Alcotest.test_case "bufpool: non-positive length rejected" `Quick
+      test_bufpool_rejects_nonpositive;
     Helpers.qtest prop_pool_alloc_unique;
     Helpers.qtest prop_masked_pool_always_in_bounds;
+    Helpers.qtest prop_bufpool_acquire_is_exact_and_balanced;
   ]

@@ -385,6 +385,48 @@ let test_stale_incarnation_recovers () =
          Buffer.length got >= 6));
   Alcotest.(check string) "payload intact" "reborn" (Buffer.contents got)
 
+(* --- TX coalescing ------------------------------------------------------ *)
+
+(* A stack whose burst netif records each flush: frames built during a
+   quantum queue up and leave together at the end of poll, and a partial
+   acceptance requeues the tail for the next flush. *)
+let make_coalescing_stack ~accept =
+  let nif_a, _nif_b = Netif.loopback_pair ~mac_a:H.mac_a ~mac_b:H.mac_b ~mtu:1500 in
+  let bursts = ref [] in
+  let tx_burst frames =
+    let n = min (accept ()) (Array.length frames) in
+    bursts := n :: !bursts;
+    n
+  in
+  let stack =
+    Stack.create ~tx_burst ~netif:nif_a ~ip:H.ip_a ~neighbors:[ (H.ip_b, H.mac_b) ]
+      ~now:(fun () -> 0L)
+      ~rng:(Cio_util.Rng.create 9L) ()
+  in
+  (stack, bursts)
+
+let test_stack_tx_coalesces_quantum () =
+  let stack, bursts = make_coalescing_stack ~accept:(fun () -> max_int) in
+  for i = 1 to 5 do
+    Stack.send_udp stack ~src_port:1000 ~dst:H.ip_b ~dst_port:7 (Bytes.make (32 + i) 'u')
+  done;
+  Alcotest.(check (list int)) "nothing leaves before the flush" [] !bursts;
+  Stack.poll stack;
+  Alcotest.(check (list int)) "one burst carries the whole quantum" [ 5 ] !bursts;
+  Alcotest.(check int) "counted as sent" 5 (Stack.counters stack).Stack.frames_out
+
+let test_stack_tx_partial_burst_requeues () =
+  let cap = ref 3 in
+  let stack, bursts = make_coalescing_stack ~accept:(fun () -> !cap) in
+  for _ = 1 to 5 do
+    Stack.send_udp stack ~src_port:1000 ~dst:H.ip_b ~dst_port:7 (Bytes.make 32 'u')
+  done;
+  Stack.poll stack;
+  Alcotest.(check (list int)) "ring-full tail held back" [ 3 ] !bursts;
+  cap := max_int;
+  Stack.poll stack;
+  Alcotest.(check (list int)) "tail retried next quantum" [ 2; 3 ] !bursts
+
 let suite =
   [
     Alcotest.test_case "tcp: three-way handshake" `Quick test_handshake;
@@ -406,6 +448,8 @@ let suite =
     Alcotest.test_case "stack: foreign frames ignored" `Quick test_stack_ignores_foreign_frames;
     Alcotest.test_case "stack: garbage counted" `Quick test_stack_counts_garbage;
     Alcotest.test_case "stack: work metered" `Quick test_stack_meter_charges;
+    Alcotest.test_case "stack: TX coalesced per quantum" `Quick test_stack_tx_coalesces_quantum;
+    Alcotest.test_case "stack: partial burst requeued" `Quick test_stack_tx_partial_burst_requeues;
     Alcotest.test_case "tcp: ten concurrent connections" `Quick test_ten_concurrent_connections;
     Alcotest.test_case "tcp: half-close data flow" `Quick test_half_close_data_still_flows;
     Helpers.qtest prop_stack_survives_random_frames;
