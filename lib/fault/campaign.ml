@@ -30,6 +30,7 @@ open Cio_netsim
 open Cio_cionet
 module Trace = Cio_telemetry.Trace
 module Kind = Cio_telemetry.Kind
+module Region = Cio_mem.Region
 
 (* One span per fault, from injection to the first post-injection round
    trip: the span's extent *is* the recovery time in virtual time. *)
@@ -41,11 +42,13 @@ type config = {
   target_echoes : int;     (* minimum successful echoes overall *)
   max_steps : int;
   payload_pad : int;       (* pad canary payloads up to this size *)
+  sanitize : bool;         (* arm Region's double-fetch sanitizer on the
+                              driver region, one epoch per pump step *)
 }
 
 let default_config =
   { quantum_ns = 10_000L; watchdog_budget = 1_500; target_echoes = 24;
-    max_steps = 400_000; payload_pad = 256 }
+    max_steps = 400_000; payload_pad = 256; sanitize = false }
 
 type fault_report = {
   kind : Plan.kind;
@@ -65,6 +68,11 @@ type t = {
   integrity_failures : int;
   leaks : int;
   confined : int; (* L2 constructions that fired: clamps + masks + skips *)
+  sanitizer_double_fetches : int;
+      (* overlapping same-epoch guest fetches seen by the runtime
+         sanitizer; 0 unless [config.sanitize], and expected to stay 0
+         over the safe cionet datapath (single fetch by construction) *)
+  sanitizer_mutated_fetches : int;
   stalls_detected : int;
   resets : int;
   reconnects : int;
@@ -194,6 +202,30 @@ let run ?(config = default_config) (plan : Plan.t) =
     last_conf := c;
     last_gen := g
   in
+  (* Runtime double-fetch sanitizer: armed on the driver's region, one
+     epoch per pump step (a poll is one logical parse). A compartment
+     restart replaces driver and region, so bank the dead region's totals
+     and re-arm the new one. *)
+  let san_double = ref 0 in
+  let san_mutated = ref 0 in
+  let san_region = ref None in
+  let bank_sanitizer r =
+    let s = Region.sanitizer_stats r in
+    san_double := !san_double + s.Region.double_fetches;
+    san_mutated := !san_mutated + s.Region.mutated_fetches
+  in
+  let sample_sanitizer () =
+    if config.sanitize then begin
+      let r = Driver.region (Dual.driver unit_) in
+      (match !san_region with
+      | Some r0 when r0 == r -> ()
+      | prev ->
+          (match prev with Some r0 -> bank_sanitizer r0 | None -> ());
+          Region.sanitizer_enable r;
+          san_region := Some r);
+      Region.sanitizer_epoch r
+    end
+  in
   let comp () = Cio_compartment.Compartment.counters (Dual.world unit_) in
   let snap () =
     {
@@ -288,6 +320,7 @@ let run ?(config = default_config) (plan : Plan.t) =
   in
   while (not (done_ ())) && !steps < config.max_steps do
     incr steps;
+    sample_sanitizer ();
     Dual.poll unit_;
     Host_model.poll host;
     Peer.poll peer;
@@ -383,6 +416,7 @@ let run ?(config = default_config) (plan : Plan.t) =
         })
       records
   in
+  (match !san_region with Some r -> bank_sanitizer r | None -> ());
   let rec_ = Cio_observe.Recovery.snapshot recovery in
   let c = comp () in
   {
@@ -394,6 +428,8 @@ let run ?(config = default_config) (plan : Plan.t) =
     integrity_failures = !integrity;
     leaks = !leaks;
     confined = !confined_acc;
+    sanitizer_double_fetches = !san_double;
+    sanitizer_mutated_fetches = !san_mutated;
     stalls_detected = rec_.Cio_observe.Recovery.stalls_detected;
     resets = rec_.Cio_observe.Recovery.resets;
     reconnects = rec_.Cio_observe.Recovery.reconnects;
@@ -423,5 +459,8 @@ let pp ppf t =
   Format.fprintf ppf
     "    L2 confinements %d; stalls detected %d; ring resets %d; reconnects %d; domain crashes %d (restarts %d)@."
     t.confined t.stalls_detected t.resets t.reconnects t.crashes t.restarts;
+  if t.sanitizer_double_fetches > 0 || t.sanitizer_mutated_fetches > 0 then
+    Format.fprintf ppf "    sanitizer: %d double fetch(es), %d mutated between reads@."
+      t.sanitizer_double_fetches t.sanitizer_mutated_fetches;
   Format.fprintf ppf "    canary leaks to host: %d; survived: %s@." t.leaks
     (if t.survived then "yes" else "NO")

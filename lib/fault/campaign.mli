@@ -13,6 +13,9 @@ type config = {
   target_echoes : int;
   max_steps : int;
   payload_pad : int;
+  sanitize : bool;
+      (** arm {!Cio_mem.Region}'s runtime double-fetch sanitizer on the
+          driver region, one epoch per pump step (default [false]) *)
 }
 
 val default_config : config
@@ -35,6 +38,11 @@ type t = {
   integrity_failures : int;
   leaks : int;
   confined : int;
+  sanitizer_double_fetches : int;
+      (** same-epoch overlapping guest fetches seen by the runtime
+          sanitizer (0 unless [config.sanitize]; the safe cionet datapath
+          is expected to keep it 0 — single fetch by construction) *)
+  sanitizer_mutated_fetches : int;
   stalls_detected : int;
   resets : int;
   reconnects : int;

@@ -9,6 +9,7 @@
    that a driver never dereferences unvalidated host-controlled state. *)
 
 open Cio_util
+module Metrics = Cio_telemetry.Metrics
 
 type actor = Guest | Host
 
@@ -54,6 +55,22 @@ type t = {
   mutable guest_read_hook : (off:int -> len:int -> unit) option;
       (* fired after each guest read of shared memory: lets the attack
          harness model a host racing the guest between two fetches *)
+  mutable san : san option;
+      (* opt-in double-fetch sanitizer: when on, every guest fetch of
+         shared memory is checked against the epoch's earlier fetches *)
+}
+
+(* Runtime double-fetch sanitizer state. Unlike a [txn] (opened by the
+   *code under test* around one logical parse), the sanitizer is armed
+   from the outside — by a test or fault campaign — and watches code that
+   never asked to be watched. An epoch is one logical parse (one poll);
+   re-reading an index across epochs is legitimate, re-reading inside one
+   is the Fig. 3/4 double fetch. *)
+and san = {
+  mutable s_fetches : (int * int * string) list;  (* off, len, snapshot *)
+  mutable s_double : int;
+  mutable s_mutated : int;
+  mutable s_epochs : int;
 }
 
 let create ?(page_size = 4096) ?(prot = Shared) ?(model = Cost.default) ?meter ~name size =
@@ -73,6 +90,7 @@ let create ?(page_size = 4096) ?(prot = Shared) ?(model = Cost.default) ?meter ~
     txn = None;
     host_write_hook = None;
     guest_read_hook = None;
+    san = None;
   }
 
 let name t = t.name
@@ -112,12 +130,44 @@ let check_access t actor off len ~write =
       if len > 0 && not (range_shared t off len) then
         raise (Fault (Host_access_private { off; len; write }))
 
+let ranges_overlap (o1, l1) (o2, l2) = o1 < o2 + l2 && o2 < o1 + l1
+
+(* Sanitizer capture: compare this fetch against every earlier fetch of
+   an overlapping shared range in the current epoch, then record it. Runs
+   *before* [guest_read_hook] fires, so a hook-modelled host race is seen
+   by the second fetch's comparison, mirroring real time order. Costs a
+   single [None] branch when the sanitizer is off. *)
+let san_note t ~off ~len =
+  match t.san with
+  | None -> ()
+  | Some s ->
+      let snap = Bytes.sub_string t.data off len in
+      List.iter
+        (fun (off2, len2, snap2) ->
+          if ranges_overlap (off, len) (off2, len2) then begin
+            s.s_double <- s.s_double + 1;
+            Metrics.inc (Metrics.counter Metrics.default "mem.sanitizer.double_fetch");
+            let lo = max off off2 and hi = min (off + len) (off2 + len2) in
+            let w1 = String.sub snap (lo - off) (hi - lo) in
+            let w2 = String.sub snap2 (lo - off2) (hi - lo) in
+            if not (String.equal w1 w2) then begin
+              s.s_mutated <- s.s_mutated + 1;
+              Metrics.inc
+                (Metrics.counter Metrics.default "mem.sanitizer.double_fetch_mutated")
+            end
+          end)
+        s.s_fetches;
+      s.s_fetches <- (off, len, snap) :: s.s_fetches
+
 let read t actor ~off ~len =
   check_access t actor off len ~write:false;
   log t (Read { actor; off; len });
   (match (actor, t.txn) with
   | Guest, Some reads when len > 0 && range_shared t off len ->
       t.txn <- Some ((off, len, Bytes.sub_string t.data off len) :: reads)
+  | _ -> ());
+  (match actor with
+  | Guest when len > 0 && range_shared t off len -> san_note t ~off ~len
   | _ -> ());
   let result = Bytes.sub t.data off len in
   (match (actor, t.guest_read_hook) with
@@ -147,6 +197,9 @@ let read_into t actor ~off dst =
   (match (actor, t.txn) with
   | Guest, Some reads when len > 0 && range_shared t off len ->
       t.txn <- Some ((off, len, Bytes.sub_string t.data off len) :: reads)
+  | _ -> ());
+  (match actor with
+  | Guest when len > 0 && range_shared t off len -> san_note t ~off ~len
   | _ -> ());
   Bytes.blit t.data off dst 0 len;
   match (actor, t.guest_read_hook) with
@@ -287,8 +340,6 @@ let begin_txn t =
   if t.txn <> None then invalid_arg "Region.begin_txn: transaction already open";
   t.txn <- Some []
 
-let ranges_overlap (o1, l1) (o2, l2) = o1 < o2 + l2 && o2 < o1 + l1
-
 let end_txn t =
   match t.txn with
   | None -> invalid_arg "Region.end_txn: no open transaction"
@@ -329,3 +380,30 @@ let with_txn t f =
 
 let set_host_write_hook t hook = t.host_write_hook <- hook
 let set_guest_read_hook t hook = t.guest_read_hook <- hook
+
+(* Sanitizer control surface. Enabling is idempotent (a campaign may
+   re-enable after an I/O restart without losing totals for the same
+   region); epochs delimit one logical parse each. *)
+
+type sanitizer_stats = { double_fetches : int; mutated_fetches : int; epochs : int }
+
+let sanitizer_enable t =
+  match t.san with
+  | Some _ -> ()
+  | None -> t.san <- Some { s_fetches = []; s_double = 0; s_mutated = 0; s_epochs = 0 }
+
+let sanitizer_disable t = t.san <- None
+
+let sanitizer_on t = t.san <> None
+
+let sanitizer_epoch t =
+  match t.san with
+  | None -> ()
+  | Some s ->
+      s.s_fetches <- [];
+      s.s_epochs <- s.s_epochs + 1
+
+let sanitizer_stats t =
+  match t.san with
+  | None -> { double_fetches = 0; mutated_fetches = 0; epochs = 0 }
+  | Some s -> { double_fetches = s.s_double; mutated_fetches = s.s_mutated; epochs = s.s_epochs }

@@ -120,3 +120,30 @@ val set_host_write_hook : t -> (off:int -> len:int -> unit) option -> unit
 val set_guest_read_hook : t -> (off:int -> len:int -> unit) option -> unit
 (** Install an adversary callback fired after every guest read of shared
     memory: models a host core racing the guest between two fetches. *)
+
+(** {1 Runtime double-fetch sanitizer}
+
+    The dynamic counterpart of cio_lint's DF rule. Unlike a transaction
+    (opened by the code under test), the sanitizer is armed from the
+    outside — by a test or fault campaign — and watches code that never
+    asked to be watched: every guest fetch of a shared range is compared
+    against the current epoch's earlier fetches, and overlaps bump the
+    [mem.sanitizer.double_fetch] (and, when the bytes changed in between,
+    [mem.sanitizer.double_fetch_mutated]) counters in
+    {!Cio_telemetry.Metrics.default}. When disabled the cost is a single
+    [None] branch per access. *)
+
+type sanitizer_stats = { double_fetches : int; mutated_fetches : int; epochs : int }
+
+val sanitizer_enable : t -> unit
+(** Idempotent: re-enabling keeps existing counts. *)
+
+val sanitizer_disable : t -> unit
+val sanitizer_on : t -> bool
+
+val sanitizer_epoch : t -> unit
+(** Start a new epoch (one logical parse, e.g. one poll): forgets the
+    recorded fetches but keeps the totals. Re-reading an index across
+    epochs is legitimate; re-reading inside one is a double fetch. *)
+
+val sanitizer_stats : t -> sanitizer_stats

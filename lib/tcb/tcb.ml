@@ -68,6 +68,13 @@ let loc name =
   | Some c -> loc_of_component c
   | None -> invalid_arg ("Tcb.loc: unknown component " ^ name)
 
+let component_names = List.map (fun c -> c.comp_name) components
+
+let component_dirs name =
+  match List.find_opt (fun c -> c.comp_name = name) components with
+  | Some c -> c.dirs
+  | None -> invalid_arg ("Tcb.component_dirs: unknown component " ^ name)
+
 (* Core-TCB composition per configuration (Figure 5 / E6). The component
    lists encode the architectural argument, not implementation details. *)
 

@@ -7,6 +7,14 @@ val set_repo_root : string -> unit
 val loc : string -> int
 (** Lines of OCaml in a named component; raises on unknown names. *)
 
+val component_names : string list
+(** Every component that can appear in a profile's [core]/[quarantined]. *)
+
+val component_dirs : string -> string list
+(** Source directories (relative to the repo root) a component is counted
+    from; raises on unknown names. Used by [cio_lint] to derive the
+    trusted-component file set from the same profiles Figure 5 uses. *)
+
 type profile = { config : string; core : string list; quarantined : string list }
 
 val profiles : profile list

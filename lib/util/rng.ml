@@ -41,7 +41,7 @@ let byte t = int t 256
 let bytes t n =
   let b = Bytes.create n in
   for i = 0 to n - 1 do
-    Bytes.unsafe_set b i (Char.chr (byte t))
+    Bytes.set b i (Char.chr (byte t))
   done;
   b
 

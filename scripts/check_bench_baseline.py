@@ -16,6 +16,7 @@ malformed file or an inverted batching result.
 """
 
 import json
+import os
 import re
 import sys
 
@@ -23,7 +24,19 @@ SLOWDOWN_TOLERANCE = 1.10
 PREFIX = "cio/cionet"
 
 
-def load(path):
+def load(path, optional=False):
+    """Parse a cio-bench-v1 file into {micro_name: ns_per_run}.
+
+    A missing *optional* file (the committed baseline on a branch that
+    has not generated one yet) returns None so the caller can skip the
+    comparison with a warning instead of a traceback. Anything else that
+    is wrong — unreadable file, malformed JSON, wrong schema — is still
+    a hard error: a corrupt baseline should fail loudly, not silently
+    pass the gate.
+    """
+    if optional and not os.path.exists(path):
+        print(f"warning: {path}: baseline file not found; skipping comparison")
+        return None
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -34,14 +47,24 @@ def load(path):
     micro = doc.get("micro_ns_per_run", {})
     if not isinstance(micro, dict):
         sys.exit(f"error: {path}: micro_ns_per_run is not an object")
-    return {k: float(v) for k, v in micro.items() if k.startswith(PREFIX)}
+    out = {}
+    for k, v in micro.items():
+        if not k.startswith(PREFIX):
+            continue
+        try:
+            out[k] = float(v)
+        except (TypeError, ValueError):
+            print(f"warning: {path}: {k}: non-numeric value {v!r}; skipping")
+    return out
 
 
 def check_regressions(current, baseline):
     warnings = 0
     for name in sorted(baseline):
         if name not in current:
-            print(f"note: {name}: in baseline but not in this run")
+            print(f"warning: {name}: in baseline but missing from this run"
+                  " (renamed or deleted micro?)")
+            warnings += 1
             continue
         base, cur = baseline[name], current[name]
         if base <= 0:
@@ -100,9 +123,17 @@ def main(argv):
     if len(args) != 2:
         sys.exit(__doc__.strip())
     current = load(args[0])
-    baseline = load(args[1])
+    baseline = load(args[1], optional=True)
     if not current:
         sys.exit(f"error: {args[0]}: no {PREFIX} micros (run bench with micros enabled)")
+    if baseline is None:
+        # No baseline to compare against: still run the self-contained
+        # batching check, which needs only the current run.
+        errors = check_batching_wins(current)
+        if errors:
+            sys.exit(1)
+        print("bench baseline check passed (no baseline file; comparison skipped)")
+        return
     warnings = check_regressions(current, baseline)
     errors = check_batching_wins(current)
     if errors:

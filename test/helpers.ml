@@ -103,3 +103,18 @@ let tls_pair ?(psk = Bytes.of_string "0123456789abcdef0123456789abcdef") ?(psk_i
 let cat_bytes l = List.fold_left Bytes.cat Bytes.empty l
 
 let qtest = QCheck_alcotest.to_alcotest
+
+(* Locate the repository root from wherever the test binary runs (dune
+   executes it in _build/default/test, and dune copies the sources into
+   _build/default, so walking up finds a complete lib/ tree). *)
+let repo_root () =
+  let marker = Filename.concat "lib" (Filename.concat "virtio" "driver_unhardened.ml") in
+  let rec go dir =
+    if Sys.file_exists (Filename.concat dir marker) then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else go parent
+  in
+  match go (Sys.getcwd ()) with
+  | Some d -> d
+  | None -> Alcotest.fail "repo root (containing lib/) not found above cwd"

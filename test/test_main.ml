@@ -20,6 +20,7 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("packed", Test_packed.suite);
       ("fault", Test_fault.suite);
+      ("lint", Test_lint.suite);
       ("extensions", Test_extensions.suite);
       ("integration", Test_integration.suite);
       ("switch", Test_switch.suite);

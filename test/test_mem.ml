@@ -301,6 +301,103 @@ let prop_bufpool_acquire_is_exact_and_balanced =
       && s.Bufpool.recycled + s.Bufpool.dropped = List.length lens
       && Bufpool.retained p >= 0)
 
+(* --- runtime double-fetch sanitizer ----------------------------------- *)
+
+let san_metric name =
+  Cio_telemetry.Metrics.counter_value
+    (Cio_telemetry.Metrics.counter Cio_telemetry.Metrics.default name)
+
+let test_sanitizer_off_counts_nothing () =
+  let r = make () in
+  Alcotest.(check bool) "off by default" false (Region.sanitizer_on r);
+  ignore (Region.guest_read r ~off:0 ~len:8);
+  ignore (Region.guest_read r ~off:0 ~len:8);
+  let s = Region.sanitizer_stats r in
+  Alcotest.(check int) "no doubles recorded" 0 s.Region.double_fetches;
+  Alcotest.(check int) "no mutations recorded" 0 s.Region.mutated_fetches
+
+let test_sanitizer_counts_double_fetch () =
+  let r = make () in
+  let m0 = san_metric "mem.sanitizer.double_fetch" in
+  Region.sanitizer_enable r;
+  ignore (Region.guest_read r ~off:0 ~len:8);
+  ignore (Region.guest_read r ~off:4 ~len:8);
+  let s = Region.sanitizer_stats r in
+  Alcotest.(check int) "overlap counted" 1 s.Region.double_fetches;
+  Alcotest.(check int) "bytes unchanged: not mutated" 0 s.Region.mutated_fetches;
+  Alcotest.(check int) "metric bumped" (m0 + 1) (san_metric "mem.sanitizer.double_fetch")
+
+let test_sanitizer_sees_host_race () =
+  (* The attack harness's race hook rewrites the bytes after the first
+     fetch; the second fetch must be counted as a *mutated* double. *)
+  let r = make () in
+  Region.guest_write r ~off:0 (Bytes.of_string "AAAA");
+  Region.sanitizer_enable r;
+  Region.set_guest_read_hook r
+    (Some
+       (fun ~off:_ ~len:_ ->
+         Region.set_guest_read_hook r None;
+         Region.host_write r ~off:0 (Bytes.of_string "BBBB")));
+  ignore (Region.guest_read r ~off:0 ~len:4);
+  ignore (Region.guest_read r ~off:0 ~len:4);
+  let s = Region.sanitizer_stats r in
+  Alcotest.(check int) "double fetch" 1 s.Region.double_fetches;
+  Alcotest.(check int) "raced mutation seen" 1 s.Region.mutated_fetches
+
+let test_sanitizer_epoch_resets_window () =
+  let r = make () in
+  Region.sanitizer_enable r;
+  ignore (Region.guest_read r ~off:0 ~len:8);
+  Region.sanitizer_epoch r;
+  ignore (Region.guest_read r ~off:0 ~len:8);
+  let s = Region.sanitizer_stats r in
+  Alcotest.(check int) "cross-epoch re-read is legitimate" 0 s.Region.double_fetches;
+  Alcotest.(check int) "epoch counted" 1 s.Region.epochs;
+  Region.sanitizer_disable r;
+  Alcotest.(check bool) "disabled" false (Region.sanitizer_on r)
+
+let test_sanitizer_ignores_private_and_host () =
+  let r = make () in
+  Region.unshare_page r 0;
+  Region.sanitizer_enable r;
+  (* Private-page guest reads and host reads of shared memory are not
+     guest fetches of host-writable state. *)
+  ignore (Region.guest_read r ~off:0 ~len:8);
+  ignore (Region.guest_read r ~off:0 ~len:8);
+  ignore (Region.host_read r ~off:4096 ~len:8);
+  ignore (Region.host_read r ~off:4096 ~len:8);
+  Alcotest.(check int) "nothing counted" 0 (Region.sanitizer_stats r).Region.double_fetches
+
+(* Property: the transaction API's hazard semantics — which the runtime
+   sanitizer mirrors epoch-for-epoch — are exactly "overlap = hazard,
+   changed bytes in the overlap = mutated". *)
+let prop_txn_hazards_pin_sanitizer_semantics =
+  QCheck.Test.make
+    ~name:"txn hazards = overlap; mutated = raced; sanitizer agrees" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (quad (int_range 0 1000) (int_range 1 64) (int_range 0 1000) (int_range 1 64))
+           bool))
+    (fun ((off1, len1, off2, len2), mutate) ->
+      let r = make () in
+      Region.sanitizer_enable r;
+      let (), hazards =
+        Region.with_txn r (fun () ->
+            ignore (Region.guest_read r ~off:off1 ~len:len1);
+            if mutate then Region.host_write r ~off:off2 (Bytes.make len2 '\xFF');
+            ignore (Region.guest_read r ~off:off2 ~len:len2))
+      in
+      let overlap = off1 < off2 + len2 && off2 < off1 + len1 in
+      let s = Region.sanitizer_stats r in
+      (* 1. a hazard iff the two reads overlap; *)
+      (hazards <> []) = overlap
+      (* 2. mutated iff the host raced an overlapping window; *)
+      && List.for_all (fun h -> h.Region.mutated = (overlap && mutate)) hazards
+      (* 3. the runtime sanitizer counts the same pair the txn saw. *)
+      && s.Region.double_fetches = (if overlap then 1 else 0)
+      && s.Region.mutated_fetches = (if overlap && mutate then 1 else 0))
+
 let suite =
   [
     Alcotest.test_case "region: guest roundtrip" `Quick test_guest_rw_roundtrip;
@@ -333,6 +430,16 @@ let suite =
     Alcotest.test_case "bufpool: class cap drops overflow" `Quick test_bufpool_class_cap_drops;
     Alcotest.test_case "bufpool: non-positive length rejected" `Quick
       test_bufpool_rejects_nonpositive;
+    Alcotest.test_case "sanitizer: off by default, counts nothing" `Quick
+      test_sanitizer_off_counts_nothing;
+    Alcotest.test_case "sanitizer: overlapping fetch counted" `Quick
+      test_sanitizer_counts_double_fetch;
+    Alcotest.test_case "sanitizer: host race marks mutation" `Quick test_sanitizer_sees_host_race;
+    Alcotest.test_case "sanitizer: epoch resets the window" `Quick
+      test_sanitizer_epoch_resets_window;
+    Alcotest.test_case "sanitizer: private/host reads ignored" `Quick
+      test_sanitizer_ignores_private_and_host;
+    Helpers.qtest prop_txn_hazards_pin_sanitizer_semantics;
     Helpers.qtest prop_pool_alloc_unique;
     Helpers.qtest prop_masked_pool_always_in_bounds;
     Helpers.qtest prop_bufpool_acquire_is_exact_and_balanced;

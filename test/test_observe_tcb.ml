@@ -74,6 +74,39 @@ let test_tcb_stack_outside_dual_core () =
   Alcotest.(check bool) "stack quarantined" true (List.mem "tcpip-stack" p.Tcb.quarantined);
   Alcotest.(check bool) "stack not in core" false (List.mem "tcpip-stack" p.Tcb.core)
 
+(* Every component a profile names must resolve against the *real* source
+   tree: its directories exist, contain OCaml, and count to a nonzero LoC
+   without the fallback. A renamed lib/ directory or a typo in a profile
+   would otherwise silently fall back to canned numbers and skew Fig. 5
+   (and cio_lint's trusted-file set, which derives from the same dirs). *)
+let test_tcb_profiles_resolve_against_tree () =
+  let root = Helpers.repo_root () in
+  Tcb.set_repo_root root;
+  let referenced =
+    List.concat_map (fun p -> p.Tcb.core @ p.Tcb.quarantined) Tcb.profiles
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "profiles reference components" true (referenced <> []);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " is a declared component") true
+        (List.mem name Tcb.component_names);
+      List.iter
+        (fun dir ->
+          let abs = Filename.concat root dir in
+          Alcotest.(check bool) (dir ^ " exists") true
+            (Sys.file_exists abs && Sys.is_directory abs);
+          let mls =
+            Array.to_list (Sys.readdir abs)
+            |> List.filter (fun f -> Filename.check_suffix f ".ml")
+          in
+          Alcotest.(check bool) (dir ^ " has OCaml sources") true (mls <> []))
+        (Tcb.component_dirs name);
+      Alcotest.(check bool) (name ^ " counts real LoC") true (Tcb.loc name > 0))
+    referenced;
+  Tcb.set_repo_root "."
+
 let suite =
   [
     Alcotest.test_case "observe: tap records" `Quick test_tap_records;
@@ -86,4 +119,6 @@ let suite =
     Alcotest.test_case "tcb: profiles complete" `Quick test_tcb_profiles_complete;
     Alcotest.test_case "tcb: dual smallest L2 core" `Quick test_tcb_dual_smallest_l2_core;
     Alcotest.test_case "tcb: stack quarantined in dual" `Quick test_tcb_stack_outside_dual_core;
+    Alcotest.test_case "tcb: profiles resolve against the tree" `Quick
+      test_tcb_profiles_resolve_against_tree;
   ]
