@@ -137,6 +137,21 @@ let test_packed ~hardened name =
          Cio_virtio.Packed.device_poll dev;
          ignore (Cio_virtio.Packed.driver_poll drv)))
 
+(* One run = one boundary admission decision (token bucket + breaker +
+   deadline stamp), on a warm bucket: the cost every admitted send now
+   pays at the Dual/compartment boundary. *)
+let test_overload_admission () =
+  let clock = ref 0L in
+  let plane =
+    Cio_overload.Plane.create ~rng:(Cio_util.Rng.create 11L) ~now:(fun () -> !clock) ()
+  in
+  Test.make ~name:"cionet-overload-admission"
+    (Staged.stage (fun () ->
+         (* 1µs per call keeps the bucket refilled at the default
+            100k/s rate, so the steady-state admit path is measured. *)
+         clock := Int64.add !clock 1_000L;
+         ignore (Cio_overload.Plane.admit plane Cio_overload.Admission.Interactive)))
+
 let test_compartment_call () =
   let open Cio_compartment in
   let w = Compartment.create ~crossing:Compartment.Gate () in
@@ -189,6 +204,7 @@ let micro_tests ?(smoke = false) () =
         (Cio_cionet.Config.Indirect { desc_count = 256; pool_slots = 256; pool_slot_size = 2048 })
         "indirect" ~depth:16;
       test_ring_burst (Cio_cionet.Config.Inline { data_capacity = 4096 }) "inline" ~depth:64;
+      test_overload_admission ();
     ]
   in
   let full =
@@ -299,7 +315,7 @@ let write_json ~file ~mode ~smoke ~experiments ~micro =
   Fmt.pr "wrote %s@." file
 
 (* Fast, information-dense subset for CI smoke runs. *)
-let smoke_ids = [ "fig2"; "fig3"; "fig4"; "e1"; "e2"; "e11"; "e21" ]
+let smoke_ids = [ "fig2"; "fig3"; "fig4"; "e1"; "e2"; "e11"; "e21"; "e22" ]
 
 (* Run one experiment, teeing its output to stdout and into the
    accumulator for --json. *)

@@ -96,8 +96,66 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Run one experiment with tracing enabled and export a Chrome trace")
     Term.(const run $ repo_root_arg $ id_arg $ out_arg $ timeline_arg $ capacity_arg)
 
+(* Composed-fault overload campaign: the same hostile-host plan run with
+   the overload plane off, then on — printed for humans and optionally
+   written as a cio-campaign-v1 JSON artifact for CI. *)
+let campaign_cmd =
+  let seed_arg =
+    Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Plan seed (deterministic).")
+  in
+  let json_arg =
+    let doc = "Write the off/on reports as a cio-campaign-v1 JSON file." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let run seed json =
+    let open Cio_fault in
+    (* A host-health plan: a stall and a one-directional ring freeze,
+       the two faults the breaker + retry budget are about. *)
+    let plan =
+      {
+        Plan.seed;
+        injections =
+          [
+            { Plan.at_step = 2_000; kind = Plan.Host_stall 600 };
+            { Plan.at_step = 9_000; kind = Plan.Host_ring_freeze 600 };
+          ];
+      }
+    in
+    let config =
+      { Campaign.default_config with Campaign.watchdog_budget = 120; max_steps = 150_000 }
+    in
+    let off = Campaign.run ~config plan in
+    (* Trip the breaker after two consecutive watchdog failures so the
+       open -> half-open -> closed walk is visible in the report. *)
+    let plane_cfg =
+      { Cio_overload.Plane.default_config with Cio_overload.Plane.breaker_threshold = 2 }
+    in
+    let on = Campaign.run ~config:{ config with Campaign.overload = Some plane_cfg } plan in
+    Fmt.pr "overload campaign, plane OFF:@.%a@." Campaign.pp off;
+    Fmt.pr "overload campaign, plane ON:@.%a@." Campaign.pp on;
+    (match json with
+    | Some file ->
+        let buf = Buffer.create 4096 in
+        Printf.bprintf buf "{\"schema\":\"cio-campaign-v1\",\"seed\":%Ld,\"off\":" seed;
+        Campaign.to_json buf off;
+        Buffer.add_string buf ",\"on\":";
+        Campaign.to_json buf on;
+        Buffer.add_string buf "}\n";
+        let oc = open_out file in
+        Buffer.output_buffer oc buf;
+        close_out oc;
+        Fmt.pr "report: %s@." file
+    | None -> ());
+    if off.Campaign.survived && on.Campaign.survived then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run the composed-fault overload campaign (plane off, then on)")
+    Term.(const run $ seed_arg $ json_arg)
+
 let main =
   let doc = "confidential I/O simulator: reproduction of 'Towards (Really) Safe and Fast Confidential I/O' (HotOS '23)" in
-  Cmd.group (Cmd.info "cio-sim" ~version:"1.0.0" ~doc) [ list_cmd; run_cmd; all_cmd; trace_cmd ]
+  Cmd.group (Cmd.info "cio-sim" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; all_cmd; trace_cmd; campaign_cmd ]
 
 let () = exit (Cmd.eval' main)

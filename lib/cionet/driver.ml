@@ -143,7 +143,18 @@ let pad t frame =
       scratch
   | _ -> frame
 
-let transmit t frame =
+(* Backpressure surface: TX-ring occupancy, from the guest-private
+   cursors (see Ring.occupancy). *)
+let tx_occupancy t = Ring.occupancy t.inst.tx
+
+let tx_pressure t =
+  Cio_overload.Pressure.level_of_occupancy ~used:(Ring.occupancy t.inst.tx)
+    ~capacity:(Ring.slots t.inst.tx)
+
+(* Typed transmit: the ring refusing a frame is a signal, not a silent
+   [false]. [transmit] below keeps the boolean shape for callers that
+   predate the overload plane. *)
+let transmit_ex t frame =
   let frame = pad t frame in
   let traced = Trace.on () in
   if traced then Trace.span_begin ~cat:Kind.l2 "tx";
@@ -152,9 +163,16 @@ let transmit t frame =
     t.tx_frames <- t.tx_frames + 1;
     Metrics.inc m_tx;
     kick t 1
-  end;
+  end
+  else Cio_overload.Pressure.note_ring_full ();
   if traced then Trace.span_end ~cat:Kind.l2 "tx";
-  ok
+  if ok then Cio_overload.Pressure.Accepted
+  else Cio_overload.Pressure.(Backpressure Ring_full)
+
+let transmit t frame =
+  match transmit_ex t frame with
+  | Cio_overload.Pressure.Accepted -> true
+  | Cio_overload.Pressure.Backpressure _ -> false
 
 (* Burst transmit: one ring crossing, one doorbell, for the whole batch.
    Padded short frames are staged in pool buffers (recycled immediately
@@ -194,9 +212,19 @@ let transmit_burst t frames =
       Metrics.observe m_batch_depth n;
       kick t n
     end;
+    if n < n_in then Cio_overload.Pressure.note_ring_full ();
     if traced then Trace.span_end ~cat:Kind.l2 "tx-burst";
     n
   end
+
+(* Burst transmit with a typed tail outcome: [(n, Accepted)] when the
+   whole batch went in, [(n, Backpressure Ring_full)] when the ring
+   filled after [n] frames and the tail is the caller's to hold. *)
+let transmit_burst_ex t frames =
+  let n = transmit_burst t frames in
+  if n < Array.length frames then
+    (n, Cio_overload.Pressure.(Backpressure Ring_full))
+  else (n, Cio_overload.Pressure.Accepted)
 
 let got_rx t frame =
   t.rx_frames <- t.rx_frames + 1;

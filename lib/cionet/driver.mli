@@ -36,6 +36,22 @@ val hot_swap : t -> unit
 val transmit : t -> bytes -> bool
 val poll : t -> bytes option
 
+val transmit_ex : t -> bytes -> Cio_overload.Pressure.outcome
+(** Typed transmit: [Backpressure Ring_full] when the TX ring has no
+    EMPTY slot (also counted as [overload.bp.ring_full]). [transmit] is
+    the boolean shim over this. *)
+
+val transmit_burst_ex : t -> bytes array -> int * Cio_overload.Pressure.outcome
+(** Burst transmit with a typed tail outcome: [(n, Accepted)] when the
+    whole batch was placed, [(n, Backpressure Ring_full)] when the ring
+    filled after [n] frames. *)
+
+val tx_occupancy : t -> int
+(** TX-ring slots in flight (guest-private cursors; host-independent). *)
+
+val tx_pressure : t -> Cio_overload.Pressure.level
+(** TX-ring occupancy mapped to Nominal/Soft/Hard. *)
+
 val transmit_burst : t -> bytes array -> int
 (** Place up to a whole batch in one ring crossing with at most one
     doorbell (coalesced under [use_notifications]); returns how many

@@ -53,6 +53,11 @@ type t = {
   mutable stall_polls : int;
   mutable freeze_polls : int;
   mutable drop_frames : int;
+  (* Service rate: frames serviced per poll, per direction. [None] means
+     unbounded (the classic model). A finite quota makes the host a
+     bottleneck without making it hostile — the saturation knob the
+     overload experiments turn. *)
+  mutable service_quota : int option;
   stats : stats;
 }
 
@@ -68,8 +73,11 @@ let create ~(driver : Driver.t) ~transmit =
     stall_polls = 0;
     freeze_polls = 0;
     drop_frames = 0;
+    service_quota = None;
     stats = { tx_forwarded = 0; rx_injected = 0; faults = 0; rx_dropped = 0 };
   }
+
+let set_service_quota t q = t.service_quota <- q
 
 (* After a hot swap the old rings are revoked; the host re-attaches to the
    new instance (in deployment: the hypervisor maps the new device). *)
@@ -185,24 +193,31 @@ let poll t =
        means its reset loses nothing the transport cannot replay. *)
     t.stall_polls <- t.stall_polls - 1
   else begin
+  let quota = match t.service_quota with Some q -> max 0 q | None -> max_int in
+  let tx_left = ref quota in
+  let rx_left = ref quota in
   (* TX direction: drain the guest's ring in bursts and forward in FIFO
-     order. A fault mid-burst (revoked pages, e.g. a hot swap racing the
-     drain) loses the in-flight batch, exactly like a cable pull. *)
+     order, up to the service quota. A fault mid-burst (revoked pages,
+     e.g. a hot swap racing the drain) loses the in-flight batch, exactly
+     like a cable pull. *)
   let rec drain_tx () =
-    match Ring.try_consume_burst ~max:64 t.driver_tx with
-    | [] -> ()
-    | frames ->
-        List.iter
-          (fun frame ->
-            t.stats.tx_forwarded <- t.stats.tx_forwarded + 1;
-            Metrics.inc m_tx_forwarded;
-            t.transmit frame)
-          frames;
-        drain_tx ()
-    | exception Region.Fault _ ->
-        t.stats.faults <- t.stats.faults + 1;
-        Metrics.inc m_faults;
-        if Trace.on () then Trace.instant ~cat:Kind.l2 "host-fault"
+    let k = min 64 !tx_left in
+    if k > 0 then
+      match Ring.try_consume_burst ~max:k t.driver_tx with
+      | [] -> ()
+      | frames ->
+          tx_left := !tx_left - List.length frames;
+          List.iter
+            (fun frame ->
+              t.stats.tx_forwarded <- t.stats.tx_forwarded + 1;
+              Metrics.inc m_tx_forwarded;
+              t.transmit frame)
+            frames;
+          drain_tx ()
+      | exception Region.Fault _ ->
+          t.stats.faults <- t.stats.faults + 1;
+          Metrics.inc m_faults;
+          if Trace.on () then Trace.instant ~cat:Kind.l2 "host-fault"
   in
   drain_tx ();
   (* RX direction: push pending frames into the guest's RX ring. *)
@@ -218,7 +233,7 @@ let poll t =
       if Trace.on () then Trace.instant ~cat:Kind.l2 "host-rx-drop";
       fill_rx ()
     end
-    else if not (Queue.is_empty t.pending_rx) then begin
+    else if (not (Queue.is_empty t.pending_rx)) && !rx_left > 0 then begin
       let frame = Queue.peek t.pending_rx in
       let frame =
         match take t (function Corrupt_payload -> true | _ -> false) with
@@ -232,6 +247,7 @@ let poll t =
       match Ring.try_produce t.driver_rx frame with
       | true ->
           ignore (Queue.take t.pending_rx);
+          rx_left := !rx_left - 1;
           t.stats.rx_injected <- t.stats.rx_injected + 1;
           Metrics.inc m_rx_injected;
           t.last_frame <- Some frame;
@@ -261,12 +277,13 @@ let poll t =
      the newest buffer un-recycled because a later slow-path replay may
      republish it. *)
   let rec fill_rx_burst () =
-    let k = min 64 (Queue.length t.pending_rx) in
+    let k = min (min 64 !rx_left) (Queue.length t.pending_rx) in
     if k > 0 then begin
       let frames = Array.init k (fun _ -> Queue.take t.pending_rx) in
       match Ring.try_produce_burst t.driver_rx frames with
       | n ->
           if n > 0 then begin
+            rx_left := !rx_left - n;
             t.stats.rx_injected <- t.stats.rx_injected + n;
             Metrics.add m_rx_injected n;
             for i = 0 to n - 2 do

@@ -36,6 +36,11 @@ val inject : t -> misbehavior -> unit
 val stalled : t -> bool
 val frozen : t -> bool
 
+val set_service_quota : t -> int option -> unit
+(** Cap frames serviced per {!poll}, per direction ([None] = unbounded,
+    the default). A slow-but-honest host: the saturation knob for the
+    overload experiments. *)
+
 val deliver_rx : t -> bytes -> unit
 
 val poll : t -> unit

@@ -83,6 +83,17 @@ let poll_burst ?(max = 64) t =
   done;
   List.rev !acc
 
+(* Aggregate backpressure: total in-flight TX slots and the worst
+   per-queue level — with fixed steering a single hot queue can hit Hard
+   while the others idle, and the worst queue is the one that matters. *)
+let tx_occupancy t =
+  Array.fold_left (fun acc q -> acc + Driver.tx_occupancy q) 0 t.queues
+
+let tx_pressure t =
+  Array.fold_left
+    (fun acc q -> Cio_overload.Pressure.worst acc (Driver.tx_pressure q))
+    Cio_overload.Pressure.Nominal t.queues
+
 let total_cycles t =
   Array.fold_left (fun acc q -> acc + Cost.total (Driver.guest_meter q)) 0 t.queues
 

@@ -30,6 +30,13 @@ val poll_burst : ?max:int -> t -> bytes list
 (** Drain up to [max] (default 64) frames, visiting each queue at most
     once round-robin from the cursor. *)
 
+val tx_occupancy : t -> int
+(** Total TX slots in flight across all queues. *)
+
+val tx_pressure : t -> Cio_overload.Pressure.level
+(** Worst per-queue TX pressure (a single hot queue dominates under
+    fixed steering). *)
+
 val total_cycles : t -> int
 val critical_path_cycles : t -> int
 (** Busiest queue: wall time with one core per queue. *)

@@ -52,6 +52,11 @@ val counters : t -> counters
 val slots : t -> int
 val region : t -> Region.t
 
+val occupancy : t -> int
+(** Slots currently in flight (produced, not yet consumed), computed
+    from the private cursors — trusted, host-independent, and free. The
+    root of the overload plane's backpressure signal. *)
+
 val header_offset : t -> int -> int
 (** Absolute region offset of a slot's header — exposed for the attack
     harness, which pokes shared memory as the host. *)

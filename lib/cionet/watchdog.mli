@@ -9,13 +9,22 @@ val create :
   ?max_backoff:int ->
   ?recovery:Cio_observe.Recovery.t ->
   ?on_reset:(unit -> unit) ->
+  ?breaker:Cio_overload.Breaker.t ->
+  ?retry_budget:Cio_overload.Retry_budget.t ->
   Driver.t ->
   t
 (** [poll_budget] is the deadline in observation ticks without progress
     (default 2048); [max_backoff] caps the exponential budget multiplier
     (default 32). [on_reset] runs after each {!Driver.hot_swap} — in the
     simulator it re-attaches the host model; in deployment the host
-    notices the generation bump itself. *)
+    notices the generation bump itself.
+
+    With [breaker], deadline trips and ring-full windows are recorded as
+    host-health failures, progress as success, and resets are skipped
+    while the breaker is Open (counted as [overload.watchdog.skipped]).
+    With [retry_budget], each reset spends a retry token; an exhausted
+    budget defers the reset ([overload.watchdog.deferred]). Neither
+    changes the backoff multiplier's monotone-doubling behaviour. *)
 
 val tick : ?expecting_rx:bool -> t -> unit
 (** One observation per driver poll quantum. The TX deadline arms itself

@@ -24,6 +24,9 @@ type t = {
   stack : Stack.t;
   conn : Tcp.conn;
   enter_io : (unit -> unit) -> unit;
+  (* The overload plane guarding this channel's compartment boundary;
+     [None] means every send is admitted unconditionally (classic). *)
+  overload : Cio_overload.Plane.t option;
   zero_copy_send : bool;
   copy_on_recv : bool;
   meter : Cost.meter;
@@ -37,12 +40,13 @@ type t = {
 }
 
 let create ?(zero_copy_send = false) ?(copy_on_recv = false) ?(enter_io = fun f -> f ())
-    ?(model = Cost.default) ~meter ~session ~stack ~conn () =
+    ?(model = Cost.default) ?overload ~meter ~session ~stack ~conn () =
   {
     session;
     stack;
     conn;
     enter_io;
+    overload;
     zero_copy_send;
     copy_on_recv;
     meter;
@@ -134,6 +138,25 @@ let send t payload =
           t.sent_messages <- t.sent_messages + 1;
           Ok ())
 
+type send_outcome =
+  | Sent
+  | Shed of Cio_overload.Pressure.reason
+  | Send_error of Session.error
+
+(* Admission-controlled send: the overload plane's decision point sits
+   exactly at the L5 boundary, before any sealing work is spent — a shed
+   request costs the app nothing but the call. *)
+let send_admitted ?(klass = Cio_overload.Admission.Interactive) ?deadline t payload =
+  match t.overload with
+  | None -> (
+      match send t payload with Ok () -> Sent | Error e -> Send_error e)
+  | Some plane -> (
+      match Cio_overload.Plane.admit ?deadline plane klass with
+      | Cio_overload.Pressure.Backpressure reason -> Shed reason
+      | Cio_overload.Pressure.Accepted -> (
+          match send t payload with Ok () -> Sent | Error e -> Send_error e))
+
+let outbox_bytes t = Buffer.length t.outbox
 let recv t = if Queue.is_empty t.inbox then None else Some (Queue.take t.inbox)
 let pending t = Queue.length t.inbox
 let is_established t = Session.is_established t.session

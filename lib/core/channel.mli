@@ -13,6 +13,7 @@ val create :
   ?copy_on_recv:bool ->
   ?enter_io:((unit -> unit) -> unit) ->
   ?model:Cost.model ->
+  ?overload:Cio_overload.Plane.t ->
   meter:Cost.meter ->
   session:Session.t ->
   stack:Stack.t ->
@@ -31,6 +32,22 @@ val start_handshake : t -> (unit, Session.error) result
 
 val send : t -> bytes -> (unit, Session.error) result
 (** Seal and queue one message (app side; no boundary crossing). *)
+
+type send_outcome =
+  | Sent
+  | Shed of Cio_overload.Pressure.reason
+  | Send_error of Cio_tls.Session.error
+
+val send_admitted :
+  ?klass:Cio_overload.Admission.klass -> ?deadline:Cio_overload.Deadline.t -> t -> bytes ->
+  send_outcome
+(** {!send} behind the overload plane's admission decision (when the
+    channel has one): blown deadline, open breaker (control exempt),
+    then the token bucket — the shed happens before any sealing work is
+    spent. Without a plane this is plain {!send}. *)
+
+val outbox_bytes : t -> int
+(** Sealed bytes queued for TCP (app-side backlog). *)
 
 val io_pump : t -> bool
 (** I/O-domain half: flush the outbox into TCP and harvest stream bytes.

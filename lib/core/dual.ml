@@ -34,6 +34,11 @@ type t = {
   zero_copy_send : bool;
   copy_on_recv : bool;
   recovery : Cio_observe.Recovery.t;
+  (* The unit's overload-control plane; [None] = classic unguarded unit.
+     The plane survives I/O-stack restarts (it guards the app-side
+     boundary and its breaker/budget describe the *host*, which a stack
+     rebirth does not change). *)
+  plane : Cio_overload.Plane.t option;
   mutable channels : Channel.t list;
 }
 
@@ -42,8 +47,8 @@ type listener = { tcp_listener : Tcp.listener; unit_ : t }
 let enter_io t f = Compartment.call t.world ~caller:t.app ~callee:t.io f
 
 let create ?(cionet_config = Cio_cionet.Config.default) ?mac ?(model = Cost.default)
-    ?(crossing = Compartment.Gate) ?(zero_copy_send = true) ?(copy_on_recv = true) ~name ~ip
-    ~neighbors ~psk ~psk_id ~rng ~now () =
+    ?(crossing = Compartment.Gate) ?(zero_copy_send = true) ?(copy_on_recv = true) ?overload
+    ~name ~ip ~neighbors ~psk ~psk_id ~rng ~now () =
   let cionet_config =
     match mac with
     | Some mac -> { cionet_config with Cio_cionet.Config.mac }
@@ -55,12 +60,20 @@ let create ?(cionet_config = Cio_cionet.Config.default) ?mac ?(model = Cost.defa
   let io = Compartment.add_domain world ~name:"iostack" in
   let driver = Cio_cionet.Driver.create ~model ~meter ~name cionet_config in
   let netif = Cio_cionet.Driver.to_netif driver in
+  let plane =
+    Option.map
+      (fun config -> Cio_overload.Plane.create ~config ~rng:(Rng.split rng) ~now ())
+      overload
+  in
   (* The closures capture [driver] (whose instance is swapped in place on
      hot swap), so burst TX and buffer recycling survive restarts. *)
   let stack =
     Stack.create ~model ~meter
       ~tx_burst:(fun frames -> Cio_cionet.Driver.transmit_burst driver frames)
       ~recycle:(fun f -> Cio_cionet.Driver.recycle driver f)
+      ?tx_queue_limit:
+        (Option.map (fun p -> (Cio_overload.Plane.config p).Cio_overload.Plane.queue_limit) plane)
+      ?retry_budget:(Option.map Cio_overload.Plane.retry_budget plane)
       ~netif ~ip ~neighbors ~now ~rng ()
   in
   {
@@ -80,6 +93,7 @@ let create ?(cionet_config = Cio_cionet.Config.default) ?mac ?(model = Cost.defa
     zero_copy_send;
     copy_on_recv;
     recovery = Cio_observe.Recovery.create ();
+    plane;
     channels = [];
   }
 
@@ -91,6 +105,7 @@ let app_domain t = t.app
 let io_domain t = t.io
 let crossings t = (Compartment.counters t.world).Compartment.crossings
 let recovery t = t.recovery
+let overload t = t.plane
 let io_alive t = Compartment.domain_alive t.io
 
 (* I/O-stack death and rebirth — the ternary trust model's recovery
@@ -120,6 +135,11 @@ let restart_io t =
     Stack.create ~model:t.model ~meter:t.meter
       ~tx_burst:(fun frames -> Cio_cionet.Driver.transmit_burst t.driver frames)
       ~recycle:(fun f -> Cio_cionet.Driver.recycle t.driver f)
+      ?tx_queue_limit:
+        (Option.map
+           (fun p -> (Cio_overload.Plane.config p).Cio_overload.Plane.queue_limit)
+           t.plane)
+      ?retry_budget:(Option.map Cio_overload.Plane.retry_budget t.plane)
       ~netif:(Cio_cionet.Driver.to_netif t.driver)
       ~ip:t.ip ~neighbors:t.neighbors ~now:t.now ~rng:t.rng ()
 
@@ -129,8 +149,8 @@ let make_channel t ~role ~conn =
   in
   let ch =
     Channel.create ~zero_copy_send:t.zero_copy_send ~copy_on_recv:t.copy_on_recv
-      ~enter_io:(fun f -> enter_io t f) ~model:t.model ~meter:t.meter ~session ~stack:t.stack
-      ~conn ()
+      ~enter_io:(fun f -> enter_io t f) ~model:t.model ?overload:t.plane ~meter:t.meter
+      ~session ~stack:t.stack ~conn ()
   in
   t.channels <- ch :: t.channels;
   ch

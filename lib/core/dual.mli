@@ -17,6 +17,7 @@ val create :
   ?crossing:Compartment.crossing ->
   ?zero_copy_send:bool ->
   ?copy_on_recv:bool ->
+  ?overload:Cio_overload.Plane.config ->
   name:string ->
   ip:Addr.ipv4 ->
   neighbors:(Addr.ipv4 * Addr.mac) list ->
@@ -27,7 +28,11 @@ val create :
   unit ->
   t
 (** [crossing] selects the L5 boundary mechanism (compartment gate by
-    default; [Tee_switch] models the two-enclave alternative for E8). *)
+    default; [Tee_switch] models the two-enclave alternative for E8).
+    [overload] stands up the unit's overload-control plane: bounded TX
+    coalescing, admission control on channel sends, a shared retry
+    budget wired into TCP, and a circuit breaker the caller can attach
+    to a {!Cio_cionet.Watchdog.t}. Omitted = classic unguarded unit. *)
 
 val meter : t -> Cost.meter
 val driver : t -> Cio_cionet.Driver.t
@@ -39,6 +44,11 @@ val crossings : t -> int
 
 val recovery : t -> Cio_observe.Recovery.t
 (** Fault/recovery counters (resets, reconnects) for this unit. *)
+
+val overload : t -> Cio_overload.Plane.t option
+(** The unit's overload plane (present iff [?overload] was given). It
+    survives {!restart_io}: breaker and retry budget describe the host,
+    which a stack rebirth does not change. *)
 
 val io_alive : t -> bool
 

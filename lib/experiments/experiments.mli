@@ -1,5 +1,5 @@
 (** Experiment registry: every paper figure (fig2-fig5), §3 exploration
-    and extension (e1-e20), each printing the rows/series it reports. *)
+    and extension (e1-e22), each printing the rows/series it reports. *)
 
 val all : (string * string * (Format.formatter -> unit -> unit)) list
 (** (id, title, run). *)

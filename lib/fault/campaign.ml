@@ -44,11 +44,15 @@ type config = {
   payload_pad : int;       (* pad canary payloads up to this size *)
   sanitize : bool;         (* arm Region's double-fetch sanitizer on the
                               driver region, one epoch per pump step *)
+  overload : Cio_overload.Plane.config option;
+      (* stand up the overload-control plane on the unit (admission at
+         the channel, bounded TX queue, shared retry budget, breaker on
+         the watchdog); None = classic unguarded campaign *)
 }
 
 let default_config =
   { quantum_ns = 10_000L; watchdog_budget = 1_500; target_echoes = 24;
-    max_steps = 400_000; payload_pad = 256; sanitize = false }
+    max_steps = 400_000; payload_pad = 256; sanitize = false; overload = None }
 
 type fault_report = {
   kind : Plan.kind;
@@ -78,6 +82,12 @@ type t = {
   reconnects : int;
   crashes : int;
   restarts : int;
+  (* Overload plane accounting; all zero / "closed" when the plane is
+     disabled, so classic reports stay byte-identical. *)
+  admitted : int;
+  shed : int;
+  breaker_transitions : int;
+  breaker_state : string;
   faults : fault_report list;
   survived : bool;
 }
@@ -163,8 +173,10 @@ let run ?(config = default_config) (plan : Plan.t) =
   Peer.serve_echo peer ~port:echo_port;
   let unit_ =
     Dual.create ~mac:mac_tee ~name:"fault-campaign" ~ip:ip_tee
-      ~neighbors:[ (ip_peer, mac_peer) ] ~psk ~psk_id ~rng:(Rng.split rng) ~now ()
+      ~neighbors:[ (ip_peer, mac_peer) ] ?overload:config.overload ~psk ~psk_id
+      ~rng:(Rng.split rng) ~now ()
   in
+  let plane = Dual.overload unit_ in
   let host =
     Host_model.create ~driver:(Dual.driver unit_)
       ~transmit:(fun f -> Link.send link ~src:Link.A f)
@@ -174,6 +186,8 @@ let run ?(config = default_config) (plan : Plan.t) =
   let wd =
     Watchdog.create ~poll_budget:config.watchdog_budget ~recovery
       ~on_reset:(fun () -> Host_model.reattach host ~driver:(Dual.driver unit_))
+      ?breaker:(Option.map Cio_overload.Plane.breaker plane)
+      ?retry_budget:(Option.map Cio_overload.Plane.retry_budget plane)
       (Dual.driver unit_)
   in
   (* Leak detection: every frame entering the link — both directions, the
@@ -341,11 +355,23 @@ let run ?(config = default_config) (plan : Plan.t) =
     end;
     if Channel.is_established !ch && Queue.length outstanding < 2 then begin
       let p = payload !sent in
-      match Channel.send !ch p with
-      | Ok () ->
+      (* Priority-class mix: a trickle of control traffic (always
+         admitted, even breaker-open), alternating bulk/interactive for
+         the rest — so a shedding plane demonstrably sheds bulk first. *)
+      let klass =
+        if !sent mod 5 = 0 then Cio_overload.Admission.Control
+        else if !sent mod 2 = 1 then Cio_overload.Admission.Bulk
+        else Cio_overload.Admission.Interactive
+      in
+      match
+        Channel.send_admitted ~klass
+          ?deadline:(Option.map Cio_overload.Plane.deadline plane)
+          !ch p
+      with
+      | Channel.Sent ->
           incr sent;
           Queue.add p outstanding
-      | Error _ -> ()
+      | Channel.Shed _ | Channel.Send_error _ -> ()
     end;
     match Channel.recv !ch with
     | Some m ->
@@ -435,6 +461,18 @@ let run ?(config = default_config) (plan : Plan.t) =
     reconnects = rec_.Cio_observe.Recovery.reconnects;
     crashes = c.Cio_compartment.Compartment.crashes;
     restarts = c.Cio_compartment.Compartment.restarts;
+    admitted = (match plane with Some p -> Cio_overload.Plane.admitted p | None -> 0);
+    shed = (match plane with Some p -> Cio_overload.Plane.shed p | None -> 0);
+    breaker_transitions =
+      (match plane with
+      | Some p -> Cio_overload.Breaker.transitions (Cio_overload.Plane.breaker p)
+      | None -> 0);
+    breaker_state =
+      (match plane with
+      | Some p ->
+          Cio_overload.Breaker.state_name
+            (Cio_overload.Breaker.state (Cio_overload.Plane.breaker p))
+      | None -> "closed");
     faults;
     survived =
       !echoes >= config.target_echoes && !integrity = 0 && !leaks = 0
@@ -462,5 +500,50 @@ let pp ppf t =
   if t.sanitizer_double_fetches > 0 || t.sanitizer_mutated_fetches > 0 then
     Format.fprintf ppf "    sanitizer: %d double fetch(es), %d mutated between reads@."
       t.sanitizer_double_fetches t.sanitizer_mutated_fetches;
+  if t.admitted + t.shed + t.breaker_transitions > 0 then
+    Format.fprintf ppf
+      "    overload plane: %d admitted, %d shed; breaker %s after %d transition(s)@."
+      t.admitted t.shed t.breaker_state t.breaker_transitions;
   Format.fprintf ppf "    canary leaks to host: %d; survived: %s@." t.leaks
     (if t.survived then "yes" else "NO")
+
+(* Machine-readable report (cio-campaign-v1 payload): every counted
+   quantity, flat, for CI artifacts and offline diffing. *)
+let to_json buf t =
+  let field name value = Printf.bprintf buf "\"%s\":%s" name value in
+  let int_field name v = field name (string_of_int v) in
+  Buffer.add_char buf '{';
+  field "seed" (Printf.sprintf "%Ld" t.seed);
+  Buffer.add_char buf ',';
+  int_field "steps" t.steps; Buffer.add_char buf ',';
+  int_field "sent" t.sent; Buffer.add_char buf ',';
+  int_field "echoes" t.echoes; Buffer.add_char buf ',';
+  int_field "lost" t.lost; Buffer.add_char buf ',';
+  int_field "integrity_failures" t.integrity_failures; Buffer.add_char buf ',';
+  int_field "leaks" t.leaks; Buffer.add_char buf ',';
+  int_field "confined" t.confined; Buffer.add_char buf ',';
+  int_field "stalls_detected" t.stalls_detected; Buffer.add_char buf ',';
+  int_field "resets" t.resets; Buffer.add_char buf ',';
+  int_field "reconnects" t.reconnects; Buffer.add_char buf ',';
+  int_field "crashes" t.crashes; Buffer.add_char buf ',';
+  int_field "restarts" t.restarts; Buffer.add_char buf ',';
+  int_field "admitted" t.admitted; Buffer.add_char buf ',';
+  int_field "shed" t.shed; Buffer.add_char buf ',';
+  int_field "breaker_transitions" t.breaker_transitions; Buffer.add_char buf ',';
+  field "breaker_state" (Printf.sprintf "%S" t.breaker_state); Buffer.add_char buf ',';
+  Printf.bprintf buf "\"faults\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '{';
+      field "kind" (Printf.sprintf "%S" (Format.asprintf "%a" Plan.pp_kind f.kind));
+      Buffer.add_char buf ',';
+      int_field "injected_at" f.injected_at; Buffer.add_char buf ',';
+      field "detected" (if f.detected then "true" else "false"); Buffer.add_char buf ',';
+      field "recovered_in_steps"
+        (match f.recovered_in_steps with Some s -> string_of_int s | None -> "null");
+      Buffer.add_char buf '}')
+    t.faults;
+  Buffer.add_string buf "],";
+  field "survived" (if t.survived then "true" else "false");
+  Buffer.add_char buf '}'

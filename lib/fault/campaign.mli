@@ -16,6 +16,10 @@ type config = {
   sanitize : bool;
       (** arm {!Cio_mem.Region}'s runtime double-fetch sanitizer on the
           driver region, one epoch per pump step (default [false]) *)
+  overload : Cio_overload.Plane.config option;
+      (** stand up the unit's overload-control plane: admission control
+          on sends, bounded TX coalescing, shared retry budget, circuit
+          breaker on the watchdog (default [None] = classic campaign) *)
 }
 
 val default_config : config
@@ -48,6 +52,10 @@ type t = {
   reconnects : int;
   crashes : int;
   restarts : int;
+  admitted : int;  (** sends admitted by the overload plane (0 when off) *)
+  shed : int;      (** sends shed by the plane, all reasons (0 when off) *)
+  breaker_transitions : int;  (** breaker state changes (0 when off) *)
+  breaker_state : string;     (** final breaker state ("closed" when off) *)
   faults : fault_report list;
   survived : bool;
 }
@@ -62,3 +70,7 @@ val tamper_tls_record : bytes -> bytes option
 val run : ?config:config -> Plan.t -> t
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : Buffer.t -> t -> unit
+(** Append the report as one flat JSON object (the [cio-campaign-v1]
+    payload): counted quantities only, deterministic per seed. *)

@@ -14,6 +14,15 @@
 
 open Cio_util
 
+let m_dropped = Cio_telemetry.Metrics.counter Cio_telemetry.Metrics.default "bufpool.dropped"
+let m_retained_high =
+  Cio_telemetry.Metrics.gauge Cio_telemetry.Metrics.default "bufpool.retained_high"
+
+(* Process-wide high watermark of retained buffers in any single pool:
+   the number that says how much memory the recycling scheme can pin at
+   worst, which is what capacity planning wants from the gauge. *)
+let global_high = ref 0
+
 type stats = {
   mutable fresh : int;     (* acquires that had to allocate *)
   mutable reused : int;    (* acquires served from a free list *)
@@ -25,6 +34,8 @@ type t = {
   buckets : (int, bytes Queue.t) Hashtbl.t;      (* exact length -> free buffers *)
   class_retained : (int, int ref) Hashtbl.t;     (* pow2 class -> retained count *)
   cap : int;                                     (* max retained per size class *)
+  mutable retained_count : int;                  (* free buffers held right now *)
+  mutable high_watermark : int;                  (* most ever held at once *)
   stats : stats;
 }
 
@@ -34,11 +45,14 @@ let create ?(cap = 256) () =
     buckets = Hashtbl.create 16;
     class_retained = Hashtbl.create 16;
     cap;
+    retained_count = 0;
+    high_watermark = 0;
     stats = { fresh = 0; reused = 0; recycled = 0; dropped = 0 };
   }
 
 let stats t = t.stats
 let cap t = t.cap
+let high_watermark t = t.high_watermark
 
 let class_of len = Bitops.next_power_of_two (max 1 len)
 
@@ -59,6 +73,7 @@ let acquire t len =
   | Some q when not (Queue.is_empty q) ->
       t.stats.reused <- t.stats.reused + 1;
       decr (class_counter t (class_of len));
+      t.retained_count <- t.retained_count - 1;
       Queue.take q
   | _ ->
       t.stats.fresh <- t.stats.fresh + 1;
@@ -68,10 +83,21 @@ let recycle t b =
   let len = Bytes.length b in
   if len > 0 then begin
     let counter = class_counter t (class_of len) in
-    if !counter >= t.cap then t.stats.dropped <- t.stats.dropped + 1
+    if !counter >= t.cap then begin
+      t.stats.dropped <- t.stats.dropped + 1;
+      Cio_telemetry.Metrics.inc m_dropped
+    end
     else begin
       incr counter;
       t.stats.recycled <- t.stats.recycled + 1;
+      t.retained_count <- t.retained_count + 1;
+      if t.retained_count > t.high_watermark then begin
+        t.high_watermark <- t.retained_count;
+        if t.retained_count > !global_high then begin
+          global_high := t.retained_count;
+          Cio_telemetry.Metrics.set m_retained_high t.retained_count
+        end
+      end;
       let q =
         match Hashtbl.find_opt t.buckets len with
         | Some q -> q

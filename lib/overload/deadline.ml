@@ -1,0 +1,21 @@
+(* Deadline propagation.
+
+   A request that has already blown its latency budget is pure waste
+   downstream: sealing, transmitting and echoing it burns cycles on an
+   answer the caller will discard. Deadlines are absolute simulated
+   times carried alongside the request; every crossing checks [expired]
+   and sheds instead of doing dead work. [none] (no deadline) compares
+   as never-expired, so deadline-free callers pay one comparison. *)
+
+type t = int64
+
+let none = Int64.max_int
+let is_none d = Int64.equal d Int64.max_int
+
+let after ~now ~budget_ns =
+  if Int64.compare budget_ns 0L <= 0 then none else Int64.add now budget_ns
+
+let expired d ~now = (not (is_none d)) && Int64.compare d now < 0
+
+let remaining_ns d ~now =
+  if is_none d then Int64.max_int else Int64.max 0L (Int64.sub d now)

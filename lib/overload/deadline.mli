@@ -1,0 +1,18 @@
+(** Absolute-time latency budgets, carried with a request and checked at
+    every crossing so blown requests are shed, not serviced. *)
+
+type t
+
+val none : t
+(** No deadline: never expires. *)
+
+val is_none : t -> bool
+
+val after : now:int64 -> budget_ns:int64 -> t
+(** [after ~now ~budget_ns] is the absolute deadline [now + budget_ns];
+    a non-positive budget means {!none}. *)
+
+val expired : t -> now:int64 -> bool
+
+val remaining_ns : t -> now:int64 -> int64
+(** Budget left (clamped to 0); [Int64.max_int] for {!none}. *)

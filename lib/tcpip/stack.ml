@@ -11,6 +11,9 @@ let src = Logs.Src.create "cio.stack" ~doc:"IP stack"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+let m_txq_depth =
+  Cio_telemetry.Metrics.histogram Cio_telemetry.Metrics.default "overload.txq.depth"
+
 type udp_socket = {
   uport : int;
   rxq : (Addr.ipv4 * int * bytes) Queue.t;
@@ -40,6 +43,10 @@ type t = {
      byte-identical to the uncoalesced stack. *)
   tx_burst : (bytes array -> int) option;
   txq : bytes Queue.t;
+  (* Overload plane: when set, the TX coalescing queue is bounded and
+     new frames shed (counted, typed) instead of growing it without
+     limit while the ring is full. *)
+  tx_queue_limit : int option;
   (* Frame-buffer return path: RX buffers go back to the driver's pool
      once parsed (the parsers copy what they keep). *)
   recycle : (bytes -> unit) option;
@@ -52,13 +59,26 @@ let mac_for t dst =
 
 (* Emit one built frame: queue for the next burst flush when coalescing,
    transmit immediately otherwise. Counters and charges are identical
-   either way. *)
+   either way. With [tx_queue_limit] set, a full queue sheds the frame
+   here — the backpressure signal the ring raised has reached the
+   stack, and dropping at the source beats queueing without bound
+   (TCP retransmits what mattered; the rest was load). *)
 let emit t frame =
-  t.counters.frames_out <- t.counters.frames_out + 1;
-  Cost.charge t.meter Cost.Stack 150;
   match t.tx_burst with
-  | Some _ -> Queue.add frame t.txq
-  | None -> t.netif.Netif.transmit frame
+  | Some _ -> (
+      match t.tx_queue_limit with
+      | Some lim when Queue.length t.txq >= lim ->
+          t.counters.dropped <- t.counters.dropped + 1;
+          t.counters.last_drop_reason <- "tx backpressure: queue full";
+          Cio_overload.Pressure.note_queue_full ()
+      | _ ->
+          t.counters.frames_out <- t.counters.frames_out + 1;
+          Cost.charge t.meter Cost.Stack 150;
+          Queue.add frame t.txq)
+  | None ->
+      t.counters.frames_out <- t.counters.frames_out + 1;
+      Cost.charge t.meter Cost.Stack 150;
+      t.netif.Netif.transmit frame
 
 (* Flush pending TX as bursts. A partial burst means the ring is full:
    requeue the tail and stop — the next poll retries. *)
@@ -84,8 +104,8 @@ let flush_tx t =
       in
       go ()
 
-let create ?(ttl = 64) ?(model = Cost.default) ?meter ?tx_burst ?recycle ~netif ~ip ~neighbors
-    ~now ~rng () =
+let create ?(ttl = 64) ?(model = Cost.default) ?meter ?tx_burst ?recycle ?tx_queue_limit
+    ?retry_budget ~netif ~ip ~neighbors ~now ~rng () =
   let meter = match meter with Some m -> m | None -> Cost.meter () in
   let rec t =
     lazy
@@ -95,7 +115,7 @@ let create ?(ttl = 64) ?(model = Cost.default) ?meter ?tx_burst ?recycle ~netif 
         ttl;
         neighbors;
         tcp =
-          Tcp.create ~model ~meter ~local_ip:ip
+          Tcp.create ~model ~meter ?retry_budget ~local_ip:ip
             ~send_segment:(fun ~dst payload -> send_proto (Lazy.force t) Ipv4.Tcp ~dst payload)
             ~now ~rng ();
         udp_socks = [];
@@ -105,6 +125,7 @@ let create ?(ttl = 64) ?(model = Cost.default) ?meter ?tx_burst ?recycle ~netif 
         counters = { frames_in = 0; frames_out = 0; dropped = 0; last_drop_reason = "" };
         tx_burst;
         txq = Queue.create ();
+        tx_queue_limit;
         recycle;
       }
   and send_proto t proto ~dst payload =
@@ -126,6 +147,13 @@ let tcp t = t.tcp
 let ip t = t.ip
 let counters t = t.counters
 let meter t = t.meter
+let tx_backlog t = Queue.length t.txq
+
+let tx_pressure t =
+  match t.tx_queue_limit with
+  | None -> Cio_overload.Pressure.Nominal
+  | Some lim ->
+      Cio_overload.Pressure.level_of_occupancy ~used:(Queue.length t.txq) ~capacity:lim
 
 let send_udp t ~src_port ~dst ~dst_port payload =
   match mac_for t dst with
@@ -211,4 +239,8 @@ let poll ?(budget = 64) t =
   in
   go budget;
   Tcp.tick t.tcp;
+  (* Only bounded stacks observe queue depth — the classic stack keeps
+     its metric stream byte-identical to the pre-overload build. *)
+  if t.tx_queue_limit <> None then
+    Cio_telemetry.Metrics.observe m_txq_depth (Queue.length t.txq);
   flush_tx t

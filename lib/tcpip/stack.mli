@@ -22,6 +22,8 @@ val create :
   ?meter:Cost.meter ->
   ?tx_burst:(bytes array -> int) ->
   ?recycle:(bytes -> unit) ->
+  ?tx_queue_limit:int ->
+  ?retry_budget:Cio_overload.Retry_budget.t ->
   netif:Netif.t ->
   ip:Addr.ipv4 ->
   neighbors:(Addr.ipv4 * Addr.mac) list ->
@@ -33,12 +35,23 @@ val create :
     bursts at the end of each {!poll} (the function returns how many of
     the batch were accepted; the tail is retried next flush). [recycle]
     returns drained RX frame buffers to the driver's pool after parsing.
-    Omitting both yields the classic frame-at-a-time stack. *)
+    Omitting both yields the classic frame-at-a-time stack.
+    [tx_queue_limit] bounds the coalescing queue: a full queue sheds new
+    frames (counted under [dropped] and [overload.bp.queue_full])
+    instead of growing without limit while the ring is full.
+    [retry_budget] makes TCP retransmits (RTO and fast) spend from the
+    shared overload-plane budget. *)
 
 val tcp : t -> Tcp.t
 val ip : t -> Addr.ipv4
 val counters : t -> counters
 val meter : t -> Cost.meter
+
+val tx_backlog : t -> int
+(** Frames waiting in the TX coalescing queue. *)
+
+val tx_pressure : t -> Cio_overload.Pressure.level
+(** Queue occupancy vs [tx_queue_limit]; [Nominal] when unbounded. *)
 
 val send_udp : t -> src_port:int -> dst:Addr.ipv4 -> dst_port:int -> bytes -> unit
 

@@ -104,6 +104,10 @@ type t = {
   default_mss : int;
   base_rto_ns : int64;
   max_retries : int;
+  (* Shared retry budget (overload plane): every retransmit — RTO or
+     fast — spends from it, so a lossy episode cannot turn into a
+     self-synchronised retry storm across connections. *)
+  retry_budget : Cio_overload.Retry_budget.t option;
   mutable conns : conn list;
   mutable listeners : listener list;
   mutable next_id : int;
@@ -128,7 +132,7 @@ let note_retransmit t =
     Cio_telemetry.Trace.instant ~cat:Cio_telemetry.Kind.tcp "retransmit"
 
 let create ?(default_mss = 1460) ?(base_rto_ns = 200_000_000L) ?(max_retries = 8)
-    ?(model = Cost.default) ?meter ~local_ip ~send_segment ~now ~rng () =
+    ?(model = Cost.default) ?meter ?retry_budget ~local_ip ~send_segment ~now ~rng () =
   {
     local_ip;
     send_segment;
@@ -139,6 +143,7 @@ let create ?(default_mss = 1460) ?(base_rto_ns = 200_000_000L) ?(max_retries = 8
     default_mss;
     base_rto_ns;
     max_retries;
+    retry_budget;
     conns = [];
     listeners = [];
     next_id = 0;
@@ -453,6 +458,10 @@ let process_ack t c (seg : Tcp_wire.t) =
     else c.cwnd <- c.cwnd + max 1 (c.mss * c.mss / c.cwnd);
     c.rto_ns <- t.base_rto_ns;
     c.rtx_deadline <- (if c.retx = [] then None else Some (Int64.add (t.now ()) c.rto_ns));
+    (* Forward progress pays back into the shared retry budget. *)
+    (match t.retry_budget with
+    | Some rb -> Cio_overload.Retry_budget.on_success rb
+    | None -> ());
     (* FIN acked? *)
     (match c.fin_seq with
     | Some fs when Tcp_wire.seq_lt fs ack -> (
@@ -471,8 +480,16 @@ let process_ack t c (seg : Tcp_wire.t) =
     c.snd_wnd <- seg.Tcp_wire.window;
     c.dup_acks <- c.dup_acks + 1;
     if c.dup_acks = 3 then begin
+      (* Fast retransmit also spends a retry token: when the budget is
+         dry the cumulative-ACK / RTO machinery still recovers, just
+         without the extra speculative send. *)
+      let budget_ok =
+        match t.retry_budget with
+        | Some rb -> Cio_overload.Retry_budget.try_retry rb
+        | None -> true
+      in
       match c.retx with
-      | e :: _ ->
+      | e :: _ when budget_ok ->
           let flight = max (in_flight c) c.mss in
           c.ssthresh <- max (flight / 2) (2 * c.mss);
           c.cwnd <- c.ssthresh;
@@ -480,7 +497,7 @@ let process_ack t c (seg : Tcp_wire.t) =
           e.sent_at <- t.now ();
           note_retransmit t;
           emit t c ~payload:e.rpayload ~syn:e.rsyn ~fin:e.rfin ~seq:e.rseq ()
-      | [] -> ()
+      | _ -> ()
     end
   end
   else if ack = c.snd_una then c.snd_wnd <- seg.Tcp_wire.window
@@ -643,17 +660,35 @@ let tick t =
                 c.rtx_deadline <- None
               end
               else begin
-                e.retries <- e.retries + 1;
-                e.sent_at <- now;
-                (* Exponential backoff and multiplicative decrease. *)
-                c.rto_ns <- Int64.mul 2L c.rto_ns;
-                c.ssthresh <- max (in_flight c / 2) (2 * c.mss);
-                c.cwnd <- c.mss;
-                c.rtx_deadline <- Some (Int64.add now c.rto_ns);
-                note_retransmit t;
-                if e.rsyn && c.state = Syn_sent then
-                  emit t c ~payload:e.rpayload ~syn:true ~ack:false ~seq:e.rseq ()
-                else emit t c ~payload:e.rpayload ~syn:e.rsyn ~fin:e.rfin ~seq:e.rseq ()
+                match t.retry_budget with
+                | Some rb when not (Cio_overload.Retry_budget.try_retry rb) ->
+                    (* Budget dry: defer without spending a retry or
+                       touching cwnd. The decorrelated-jitter backoff
+                       paces the re-attempt so a fleet of starved
+                       connections cannot retry in lockstep. *)
+                    c.rtx_deadline <-
+                      Some (Int64.add now (Cio_overload.Retry_budget.backoff_ns rb))
+                | budget ->
+                    e.retries <- e.retries + 1;
+                    e.sent_at <- now;
+                    (* Exponential backoff and multiplicative decrease. *)
+                    c.rto_ns <- Int64.mul 2L c.rto_ns;
+                    c.ssthresh <- max (in_flight c / 2) (2 * c.mss);
+                    c.cwnd <- c.mss;
+                    (* With a budget attached, pacing takes the worse of
+                       the per-connection RTO and the shared jittered
+                       backoff. *)
+                    let pace =
+                      match budget with
+                      | Some rb ->
+                          Int64.max c.rto_ns (Cio_overload.Retry_budget.backoff_ns rb)
+                      | None -> c.rto_ns
+                    in
+                    c.rtx_deadline <- Some (Int64.add now pace);
+                    note_retransmit t;
+                    if e.rsyn && c.state = Syn_sent then
+                      emit t c ~payload:e.rpayload ~syn:true ~ack:false ~seq:e.rseq ()
+                    else emit t c ~payload:e.rpayload ~syn:e.rsyn ~fin:e.rfin ~seq:e.rseq ()
               end)
       | _ -> ())
     t.conns;

@@ -34,6 +34,7 @@ val create :
   ?max_retries:int ->
   ?model:Cost.model ->
   ?meter:Cost.meter ->
+  ?retry_budget:Cio_overload.Retry_budget.t ->
   local_ip:Addr.ipv4 ->
   send_segment:(dst:Addr.ipv4 -> bytes -> unit) ->
   now:(unit -> int64) ->

@@ -78,6 +78,11 @@ def check_regressions(current, baseline):
             warnings += 1
         else:
             print(f"ok: {name}: {cur:.0f} ns/run (baseline {base:.0f})")
+    for name in sorted(set(current) - set(baseline)):
+        # A new micro is not a regression: it gets a baseline entry the
+        # next time BENCH_baseline.json is regenerated.
+        print(f"note: {name}: {current[name]:.0f} ns/run, new micro"
+              " (not in baseline; comparison skipped)")
     return warnings
 
 

@@ -25,4 +25,5 @@ let () =
       ("integration", Test_integration.suite);
       ("switch", Test_switch.suite);
       ("shapes", Test_shapes.suite);
+      ("overload", Test_overload.suite);
     ]
